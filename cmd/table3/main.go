@@ -1,0 +1,58 @@
+// Command table3 regenerates Table III of the paper: the assessment of
+// the WazaBee reception and transmission primitives, 100 frames per
+// Zigbee channel, on the nRF52832 and CC1352-R1 models, under WiFi
+// interference on channels 6 and 11. It prints the measured rows next to
+// the published ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wazabee/internal/chip"
+	"wazabee/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "table3:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	frames := flag.Int("frames", 100, "frames per channel")
+	seed := flag.Int64("seed", 1, "random seed")
+	side := flag.String("side", "both", "primitive to assess: rx, tx or both")
+	wifi := flag.Bool("wifi", true, "enable WiFi interference on channels 6 and 11")
+	flag.Parse()
+
+	var sides []experiment.Side
+	switch *side {
+	case "rx":
+		sides = []experiment.Side{experiment.Reception}
+	case "tx":
+		sides = []experiment.Side{experiment.Transmission}
+	case "both":
+		sides = []experiment.Side{experiment.Reception, experiment.Transmission}
+	default:
+		return fmt.Errorf("invalid -side %q (rx, tx, both)", *side)
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.FramesPerChannel = *frames
+	cfg.Seed = *seed
+	cfg.WiFi = *wifi
+
+	for _, model := range []chip.Model{chip.NRF52832(), chip.CC1352R1()} {
+		for _, s := range sides {
+			res, err := experiment.Run(cfg, model, s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatComparison(res))
+		}
+	}
+	return nil
+}

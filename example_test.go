@@ -1,0 +1,85 @@
+package wazabee_test
+
+import (
+	"fmt"
+	"log"
+
+	"wazabee"
+	"wazabee/internal/bitstream"
+	"wazabee/internal/ieee802154"
+)
+
+// ExampleConvertPNSequence shows Algorithm 1 on the 0000 symbol's PN
+// sequence.
+func ExampleConvertPNSequence() {
+	table, err := wazabee.CorrespondenceTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	msk, err := wazabee.ConvertPNSequence(table[0].PN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(msk)
+	// Output: 1100000011101111010111001101100
+}
+
+// ExampleCommonChannels prints Table II of the paper.
+func ExampleCommonChannels() {
+	for _, m := range wazabee.CommonChannels() {
+		fmt.Printf("Zigbee %d = BLE %d (%g MHz)\n", m.Zigbee, m.BLE, m.FrequencyMHz)
+	}
+	// Output:
+	// Zigbee 12 = BLE 3 (2410 MHz)
+	// Zigbee 14 = BLE 8 (2420 MHz)
+	// Zigbee 16 = BLE 12 (2430 MHz)
+	// Zigbee 18 = BLE 17 (2440 MHz)
+	// Zigbee 20 = BLE 22 (2450 MHz)
+	// Zigbee 22 = BLE 27 (2460 MHz)
+	// Zigbee 24 = BLE 32 (2470 MHz)
+	// Zigbee 26 = BLE 39 (2480 MHz)
+}
+
+// ExampleNewTransmitter runs the headline loopback: a BLE chip transmits
+// an 802.15.4 frame, another diverted BLE chip receives it.
+func ExampleNewTransmitter() {
+	tx, err := wazabee.NewTransmitter(wazabee.NRF52832(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rx, err := wazabee.NewReceiver(wazabee.CC1352R1(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frame := wazabee.NewDataFrame(1, 0x1234, 0x0042, 0x0063, []byte("hi"), false)
+	psdu, err := frame.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := tx.ModulatePSDU(psdu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	padded, err := sig.Pad(100, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dem, err := rx.Receive(padded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := ieee802154.ParseMACFrame(dem.PPDU.PSDU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (FCS ok: %v)\n", decoded.Payload, bitstream.CheckFCS(dem.PPDU.PSDU))
+	// Output: hi (FCS ok: true)
+}
+
+// ExampleAccessAddress prints the Access Address a diverted BLE chip
+// loads to detect 802.15.4 preambles.
+func ExampleAccessAddress() {
+	fmt.Printf("%#08x\n", wazabee.AccessAddress())
+	// Output: 0x9b3af703
+}

@@ -1,0 +1,3 @@
+module wazabee
+
+go 1.22

@@ -1,0 +1,105 @@
+package attack
+
+import (
+	"testing"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/ble"
+	"wazabee/internal/ieee802154"
+)
+
+// TestAdvertiseEventTrain demodulates a full scenario A advertising
+// event the way a BLE observer would: receive the ADV_EXT_IND on a
+// primary channel at LE 1M, de-whiten it, verify the CRC, follow its
+// AuxPtr to the secondary channel, and confirm the auxiliary packet is
+// there at LE 2M.
+func TestAdvertiseEventTrain(t *testing.T) {
+	phone, err := NewSmartphone(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := appendFCS([]byte{0x41, 0x88, 0x07, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x01})
+	ppdu, err := ieee802154.NewPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := phone.AdvertiseEvent(12, ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if event.PrimaryChannels != [3]int{37, 38, 39} {
+		t.Errorf("primary channels = %v", event.PrimaryChannels)
+	}
+
+	// Demodulate the channel-38 transmission at LE 1M.
+	obsPHY, err := ble.NewPHY(ble.LE1M, 2*testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := event.Primary[1].Pad(100, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := obsPHY.DemodulateFrame(sig, bitstream.Uint32ToBits(ble.AdvAccessAddress), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &ble.Packet{
+		AccessAddress: ble.AdvAccessAddress,
+		Channel:       38,
+		Mode:          ble.LE1M,
+		CRCInit:       bitstream.BLEAdvCRCInit,
+	}
+	pdu, crcOK, err := pkt.ParseAirBits(cap.Bits[32:], len(event.PrimaryPDU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crcOK {
+		t.Fatal("ADV_EXT_IND CRC failed over the air")
+	}
+
+	aux, err := ble.DecodeAuxPtr(pdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aux.ChannelIndex != event.AuxChannel {
+		t.Errorf("AuxPtr channel = %d, want %d", aux.ChannelIndex, event.AuxChannel)
+	}
+	if aux.PHY != ble.LE2M {
+		t.Errorf("AuxPtr PHY = %v, want LE 2M", aux.PHY)
+	}
+	if aux.OffsetUsec != event.AuxOffsetUsec {
+		t.Errorf("AuxPtr offset = %d, want %d", aux.OffsetUsec, event.AuxOffsetUsec)
+	}
+	if len(event.Aux) == 0 {
+		t.Error("auxiliary waveform missing")
+	}
+}
+
+// TestAdvertiseEventAuxMatchesOnce confirms the event's auxiliary packet
+// equals what AdvertiseOnce emits for the same counter.
+func TestAdvertiseEventAuxMatchesOnce(t *testing.T) {
+	phone, err := NewSmartphone(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := appendFCS([]byte{1, 2, 3, 4})
+	ppdu, err := ieee802154.NewPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := phone.AdvertiseEvent(5, ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, ch, err := phone.AdvertiseOnce(5, ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != event.AuxChannel || len(aux) != len(event.Aux) {
+		t.Error("AdvertiseEvent aux diverges from AdvertiseOnce")
+	}
+	if _, err := phone.AdvertiseEvent(5, nil); err == nil {
+		t.Error("expected error for nil PPDU")
+	}
+}

@@ -1,0 +1,94 @@
+package attack
+
+import (
+	"testing"
+
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/zigbee"
+)
+
+func TestDepleteEnergyDrainsSensorBattery(t *testing.T) {
+	sim := newSim(t, 61)
+	battery, err := zigbee.NewBattery(1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Sensor.Battery = battery
+	tracker := newTracker(t, sim)
+	info := &NetworkInfo{Channel: zigbee.DefaultChannel, PAN: zigbee.DefaultPAN, Coordinator: zigbee.DefaultCoordinator}
+
+	// Baseline: a few reporting periods cost only TX energy.
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Step(zigbee.DefaultChannel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baselineDrain := 1e5 - battery.RemainingMicroJ
+	if baselineDrain <= 0 {
+		t.Fatal("reporting periods consumed no energy")
+	}
+
+	// Attack: the same number of radio events drains much faster.
+	before := battery.RemainingMicroJ
+	if err := tracker.DepleteEnergy(info, zigbee.DefaultSensor, 20); err != nil {
+		t.Fatal(err)
+	}
+	attackDrain := before - battery.RemainingMicroJ
+	if attackDrain < 5*baselineDrain {
+		t.Errorf("attack drain %.0f µJ not dominating baseline %.0f µJ", attackDrain, baselineDrain)
+	}
+}
+
+func TestDepleteEnergyCostsCryptoOnSecuredNetwork(t *testing.T) {
+	// The point of [30]: security increases the per-bogus-frame cost.
+	drain := func(secured bool) float64 {
+		sim := newSim(t, 62)
+		if secured {
+			if err := sim.Secure([]byte("sixteen byte key"), ieee802154.SecEncMIC32); err != nil {
+				t.Fatal(err)
+			}
+		}
+		battery, err := zigbee.NewBattery(1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Sensor.Battery = battery
+		tracker := newTracker(t, sim)
+		info := &NetworkInfo{Channel: zigbee.DefaultChannel, PAN: zigbee.DefaultPAN, Coordinator: zigbee.DefaultCoordinator}
+		if err := tracker.DepleteEnergy(info, zigbee.DefaultSensor, 15); err != nil {
+			t.Fatal(err)
+		}
+		return 1e5 - battery.RemainingMicroJ
+	}
+	open := drain(false)
+	secured := drain(true)
+	if secured <= open {
+		t.Errorf("secured-network drain %.0f µJ not above open-network drain %.0f µJ", secured, open)
+	}
+}
+
+func TestDepleteEnergyValidation(t *testing.T) {
+	sim := newSim(t, 63)
+	tracker := newTracker(t, sim)
+	if err := tracker.DepleteEnergy(nil, 1, 5); err == nil {
+		t.Error("expected error for nil info")
+	}
+	info := &NetworkInfo{Channel: 14, PAN: 1, Coordinator: 2}
+	if err := tracker.DepleteEnergy(info, 1, 0); err == nil {
+		t.Error("expected error for zero frames")
+	}
+}
+
+func TestBatteryValidation(t *testing.T) {
+	if _, err := zigbee.NewBattery(0); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	b, err := zigbee.NewBattery(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Drain(25)
+	if !b.Depleted() || b.RemainingMicroJ != 0 {
+		t.Errorf("battery = %+v, want depleted at zero", b)
+	}
+}

@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"testing"
+
+	"wazabee/internal/zigbee"
+)
+
+func TestJoinNetworkWhenPermitted(t *testing.T) {
+	sim := newSim(t, 71)
+	sim.Coordinator.PermitJoining = true
+	tracker := newTracker(t, sim)
+	info := &NetworkInfo{Channel: zigbee.DefaultChannel, PAN: zigbee.DefaultPAN, Coordinator: zigbee.DefaultCoordinator}
+
+	addr, err := tracker.JoinNetwork(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == 0 || addr == 0xffff || addr == 0xfffe {
+		t.Errorf("assigned address = %#04x", addr)
+	}
+	if len(sim.Coordinator.Associated) != 1 || sim.Coordinator.Associated[0] != addr {
+		t.Errorf("coordinator association log = %v", sim.Coordinator.Associated)
+	}
+
+	// The infiltrated node can now report as itself.
+	if err := tracker.SpoofData(info, addr, 777); err != nil {
+		t.Fatal(err)
+	}
+	last, ok := sim.Coordinator.LastReading()
+	if !ok || last.Src != addr || last.Value != 777 {
+		t.Errorf("reading from joined node = %+v", last)
+	}
+}
+
+func TestJoinNetworkDenied(t *testing.T) {
+	sim := newSim(t, 72)
+	// PermitJoining defaults to false: a locked-down network.
+	tracker := newTracker(t, sim)
+	info := &NetworkInfo{Channel: zigbee.DefaultChannel, PAN: zigbee.DefaultPAN, Coordinator: zigbee.DefaultCoordinator}
+	if _, err := tracker.JoinNetwork(info); err == nil {
+		t.Error("association succeeded on a network with joining disabled")
+	}
+	if len(sim.Coordinator.Associated) != 0 {
+		t.Error("denied join still recorded an association")
+	}
+	if _, err := tracker.JoinNetwork(nil); err == nil {
+		t.Error("expected error for nil info")
+	}
+}
+
+func TestJoinNetworkAssignsDistinctAddresses(t *testing.T) {
+	sim := newSim(t, 73)
+	sim.Coordinator.PermitJoining = true
+	info := &NetworkInfo{Channel: zigbee.DefaultChannel, PAN: zigbee.DefaultPAN, Coordinator: zigbee.DefaultCoordinator}
+
+	a := newTracker(t, sim)
+	addr1, err := a.JoinNetwork(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := a.JoinNetwork(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr1 == addr2 {
+		t.Errorf("both joins got %#04x", addr1)
+	}
+}

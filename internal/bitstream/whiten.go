@@ -1,0 +1,89 @@
+package bitstream
+
+import "fmt"
+
+// Whitener implements the BLE data whitening linear feedback shift register
+// (Bluetooth Core Specification v5.x, Vol 6 Part B §3.2).
+//
+// The LFSR has polynomial x^7 + x^4 + 1 and is seeded from the channel
+// index: position 0 is set to one and positions 1..6 hold the channel index,
+// most significant bit in position 1. Whitening XORs the LFSR output with
+// the on-air bits of the PDU and CRC; because it is a pure XOR stream the
+// same operation both whitens and de-whitens, which is the property the
+// WazaBee smartphone scenario exploits (pre-apply the stream so the radio's
+// own whitening cancels out).
+type Whitener struct {
+	// state holds LFSR positions 0..6 in the low seven bits: bit i of
+	// state is position i of the register in the specification figure.
+	state uint8
+}
+
+// NewWhitener returns a whitener seeded for the given BLE channel index
+// (0..39).
+func NewWhitener(channel int) (*Whitener, error) {
+	if channel < 0 || channel > 39 {
+		return nil, fmt.Errorf("bitstream: BLE channel %d out of range [0,39]", channel)
+	}
+	w := &Whitener{}
+	w.Reset(channel)
+	return w, nil
+}
+
+// Reset re-seeds the register for the given channel index. The channel is
+// assumed valid (callers go through NewWhitener for validation).
+func (w *Whitener) Reset(channel int) {
+	// Position 0 = 1, positions 1..6 = channel bits 5..0 (MSB first).
+	state := uint8(1)
+	for i := 0; i < 6; i++ {
+		bit := uint8(channel>>(5-i)) & 1
+		state |= bit << uint(i+1)
+	}
+	w.state = state
+}
+
+// NextBit advances the LFSR one step and returns the whitening bit.
+func (w *Whitener) NextBit() byte {
+	out := (w.state >> 6) & 1 // position 6 is the output
+	// Shift positions 0..5 into 1..6, feed output back into position 0
+	// and XOR it into position 4 (x^7 + x^4 + 1).
+	w.state = (w.state << 1) & 0x7f
+	w.state |= out
+	w.state ^= out << 4
+	return out
+}
+
+// Apply XORs the whitening stream over bits in place and returns bits for
+// convenience. Calling Apply twice with identically seeded whiteners
+// restores the original data.
+func (w *Whitener) Apply(bits Bits) Bits {
+	for i := range bits {
+		bits[i] ^= w.NextBit()
+	}
+	return bits
+}
+
+// WhitenBytes whitens data (interpreted LSB-first per byte, as transmitted)
+// for the given channel and returns a new slice.
+func WhitenBytes(channel int, data []byte) ([]byte, error) {
+	w, err := NewWhitener(channel)
+	if err != nil {
+		return nil, err
+	}
+	bits := BytesToBits(data)
+	w.Apply(bits)
+	return BitsToBytes(bits)
+}
+
+// WhitenSequence returns the first n whitening bits for a channel, useful
+// for constructing payloads whose whitened form equals a target bit string.
+func WhitenSequence(channel, n int) (Bits, error) {
+	w, err := NewWhitener(channel)
+	if err != nil {
+		return nil, err
+	}
+	bits := make(Bits, n)
+	for i := range bits {
+		bits[i] = w.NextBit()
+	}
+	return bits, nil
+}

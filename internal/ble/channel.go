@@ -1,0 +1,67 @@
+// Package ble implements the Bluetooth Low Energy lower layers needed by
+// the WazaBee attack: the GFSK physical layer (LE 1M, LE 2M and the
+// Enhanced ShockBurst 2 Mbit/s fallback), link-layer packet assembly with
+// whitening and CRC-24, the channel map, Channel Selection Algorithm #2 and
+// the extended-advertising PDUs used by the smartphone scenario.
+package ble
+
+import "fmt"
+
+// ChannelCount is the number of BLE RF channels.
+const ChannelCount = 40
+
+// Advertising channel indices.
+const (
+	AdvChannel37 = 37
+	AdvChannel38 = 38
+	AdvChannel39 = 39
+)
+
+// DataChannelCount is the number of data channels usable as secondary
+// advertising channels with LE 2M.
+const DataChannelCount = 37
+
+// AdvAccessAddress is the fixed Access Address of advertising PDUs.
+const AdvAccessAddress uint32 = 0x8e89bed6
+
+// ChannelFrequencyMHz returns the centre frequency of a BLE channel index
+// (0..39). Channels 37, 38 and 39 sit at 2402, 2426 and 2480 MHz; data
+// channels 0..36 are spaced 2 MHz apart from 2404 MHz upward, skipping the
+// advertising frequencies.
+func ChannelFrequencyMHz(channel int) (float64, error) {
+	switch {
+	case channel == AdvChannel37:
+		return 2402, nil
+	case channel == AdvChannel38:
+		return 2426, nil
+	case channel == AdvChannel39:
+		return 2480, nil
+	case channel >= 0 && channel <= 10:
+		return 2404 + 2*float64(channel), nil
+	case channel >= 11 && channel <= 36:
+		return 2428 + 2*float64(channel-11), nil
+	default:
+		return 0, fmt.Errorf("ble: channel %d out of range [0,39]", channel)
+	}
+}
+
+// ChannelForFrequencyMHz returns the BLE channel index whose centre
+// frequency equals freq, or an error when no channel sits there.
+func ChannelForFrequencyMHz(freq float64) (int, error) {
+	for ch := 0; ch < ChannelCount; ch++ {
+		f, err := ChannelFrequencyMHz(ch)
+		if err != nil {
+			return 0, err
+		}
+		if f == freq {
+			return ch, nil
+		}
+	}
+	return 0, fmt.Errorf("ble: no channel at %g MHz", freq)
+}
+
+// IsDataChannel reports whether the index names one of the 37 data
+// channels.
+func IsDataChannel(channel int) bool {
+	return channel >= 0 && channel <= 36
+}

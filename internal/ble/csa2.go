@@ -1,0 +1,91 @@
+package ble
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSA2 implements Channel Selection Algorithm #2 (Bluetooth Core
+// Specification Vol 6 Part B §4.5.8.3), the pseudo-random hop sequence
+// used both by connections and by extended advertising to pick the
+// secondary advertising channel. Scenario A depends on its statistics: the
+// attacker cannot choose the AUX channel directly and instead repeats
+// advertising events until the algorithm lands on the wanted channel.
+type CSA2 struct {
+	channelIdentifier uint16
+	used              []int
+}
+
+// NewCSA2 builds a selector for the given Access Address and channel map
+// (the list of usable data channel indices, 0..36). An empty map means all
+// 37 data channels are usable.
+func NewCSA2(accessAddress uint32, usedChannels []int) (*CSA2, error) {
+	used := append([]int{}, usedChannels...)
+	if len(used) == 0 {
+		for ch := 0; ch < DataChannelCount; ch++ {
+			used = append(used, ch)
+		}
+	}
+	for _, ch := range used {
+		if !IsDataChannel(ch) {
+			return nil, fmt.Errorf("ble: channel map entry %d is not a data channel", ch)
+		}
+	}
+	sort.Ints(used)
+	return &CSA2{
+		channelIdentifier: uint16(accessAddress>>16) ^ uint16(accessAddress),
+		used:              used,
+	}, nil
+}
+
+// perm reverses the bit order within each byte of a 16-bit value, the
+// permutation step of the algorithm.
+func perm(v uint16) uint16 {
+	rev8 := func(b uint16) uint16 {
+		b = (b&0xf0)>>4 | (b&0x0f)<<4
+		b = (b&0xcc)>>2 | (b&0x33)<<2
+		b = (b&0xaa)>>1 | (b&0x55)<<1
+		return b
+	}
+	return rev8(v>>8)<<8 | rev8(v&0xff)
+}
+
+// mam is the multiply-add-modulo step: (17·a + b) mod 2^16.
+func mam(a, b uint16) uint16 {
+	return 17*a + b // uint16 arithmetic wraps mod 2^16
+}
+
+// prnE computes the event pseudo-random number for a counter value.
+func (c *CSA2) prnE(counter uint16) uint16 {
+	prn := counter ^ c.channelIdentifier
+	for i := 0; i < 3; i++ {
+		prn = mam(perm(prn), c.channelIdentifier)
+	}
+	return prn ^ c.channelIdentifier
+}
+
+// Channel returns the data channel selected for the given event counter.
+func (c *CSA2) Channel(eventCounter uint16) int {
+	prn := c.prnE(eventCounter)
+	unmapped := int(prn % DataChannelCount)
+	for _, ch := range c.used {
+		if ch == unmapped {
+			return ch
+		}
+	}
+	remapIndex := int(uint32(len(c.used)) * uint32(prn) / 65536)
+	return c.used[remapIndex]
+}
+
+// EventsUntil returns the first event counter in [start, start+limit) for
+// which the algorithm selects target, and ok=false when none does. This is
+// the attacker's planning primitive in scenario A.
+func (c *CSA2) EventsUntil(target int, start uint16, limit int) (counter uint16, ok bool) {
+	for i := 0; i < limit; i++ {
+		ctr := start + uint16(i)
+		if c.Channel(ctr) == target {
+			return ctr, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,165 @@
+package ble
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"wazabee/internal/bitstream"
+)
+
+func TestESBAirBitsLayout(t *testing.T) {
+	pkt := &ESBPacket{
+		Address: []byte{0xe7, 0xe7, 0xe7, 0xe7, 0xe7},
+		PID:     2,
+		Payload: []byte{0x01, 0x02},
+	}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 preamble + 5 address + 2 payload + 2 CRC bytes + 9 PCF bits.
+	want := 8*(1+5+2+2) + 9
+	if len(bits) != want {
+		t.Errorf("air bits = %d, want %d", len(bits), want)
+	}
+	// Address MSB is 1 → preamble 0xAA (1010… MSB first).
+	if bits[:8].String() != "10101010" {
+		t.Errorf("preamble = %s", bits[:8])
+	}
+	// First address byte 0xE7 MSB-first.
+	if bits[8:16].String() != "11100111" {
+		t.Errorf("address bits = %s", bits[8:16])
+	}
+}
+
+func TestESBPreamblePolarity(t *testing.T) {
+	pkt := &ESBPacket{Address: []byte{0x17, 0x17, 0x17}}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits[:8].String() != "01010101" {
+		t.Errorf("preamble for low-MSB address = %s, want 01010101", bits[:8])
+	}
+}
+
+func TestESBRoundTrip(t *testing.T) {
+	f := func(payload []byte, pid uint8, noAck bool) bool {
+		if len(payload) > ESBMaxPayload {
+			payload = payload[:ESBMaxPayload]
+		}
+		pkt := &ESBPacket{
+			Address: []byte{0xc0, 0xff, 0xee, 0x42},
+			PID:     pid % 4,
+			NoAck:   noAck,
+			Payload: payload,
+		}
+		bits, err := pkt.AirBits()
+		if err != nil {
+			return false
+		}
+		got, err := ParseESBAirBits(bits[8:], len(pkt.Address))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Address, pkt.Address) &&
+			bytes.Equal(got.Payload, pkt.Payload) &&
+			got.PID == pkt.PID && got.NoAck == pkt.NoAck
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestESBValidation(t *testing.T) {
+	if _, err := (&ESBPacket{Address: []byte{1, 2}}).AirBits(); err == nil {
+		t.Error("expected error for short address")
+	}
+	if _, err := (&ESBPacket{Address: make([]byte, 6)}).AirBits(); err == nil {
+		t.Error("expected error for long address")
+	}
+	if _, err := (&ESBPacket{Address: []byte{1, 2, 3}, Payload: make([]byte, 33)}).AirBits(); err == nil {
+		t.Error("expected error for oversized payload")
+	}
+	if _, err := (&ESBPacket{Address: []byte{1, 2, 3}, PID: 4}).AirBits(); err == nil {
+		t.Error("expected error for PID overflow")
+	}
+	if _, err := ParseESBAirBits(make(bitstream.Bits, 10), 3); err == nil {
+		t.Error("expected error for short capture")
+	}
+	if _, err := ParseESBAirBits(make(bitstream.Bits, 300), 9); err == nil {
+		t.Error("expected error for bad address length")
+	}
+}
+
+func TestESBCRCRejectsCorruption(t *testing.T) {
+	pkt := &ESBPacket{Address: []byte{0xaa, 0xbb, 0xcc}, Payload: []byte{1, 2, 3, 4}}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bits[8:]
+	for i := 0; i < len(stream); i += 7 {
+		bad := bitstream.Clone(stream)
+		bad[i] ^= 1
+		if _, err := ParseESBAirBits(bad, 3); err == nil {
+			t.Fatalf("corrupted bit %d accepted", i)
+		}
+	}
+}
+
+func TestESBLengthFieldBounds(t *testing.T) {
+	pkt := &ESBPacket{Address: []byte{1, 2, 3}, Payload: []byte{9}}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bitstream.Clone(bits[8:])
+	// Force the 6-bit length field to 63.
+	for i := 24; i < 30; i++ {
+		stream[i] = 1
+	}
+	if _, err := ParseESBAirBits(stream, 3); err == nil {
+		t.Error("expected error for length field over 32")
+	}
+}
+
+// TestESBOverGFSKModem sends a native ESB packet through the same 2
+// Mbit/s GFSK modem WazaBee diverts on the nRF51822: the tracker's own
+// protocol and the attack share one radio path.
+func TestESBOverGFSKModem(t *testing.T) {
+	phy, err := NewPHY(ESB2M, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &ESBPacket{
+		Address: []byte{0xe7, 0xe7, 0xe7, 0xe7},
+		PID:     1,
+		Payload: []byte("gablys"),
+	}
+	bits, err := pkt.AirBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := phy.ModulateBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := sig.Pad(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addressPattern := bits[8 : 8+32] // correlate on the pipe address
+	cap, err := phy.DemodulateFrame(padded, addressPattern, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseESBAirBits(cap.Bits, len(pkt.Address))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, pkt.Payload) {
+		t.Errorf("payload = %q, want %q", got.Payload, pkt.Payload)
+	}
+}

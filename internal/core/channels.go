@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"wazabee/internal/ble"
+	"wazabee/internal/ieee802154"
+)
+
+// ChannelMapping is one row of Table II: a Zigbee channel whose centre
+// frequency coincides with a BLE channel, so that even a chip that can
+// only tune to BLE channel indices can run the attack there.
+type ChannelMapping struct {
+	// Zigbee is the 802.15.4 channel number (11..26).
+	Zigbee int
+	// BLE is the BLE channel index sharing the frequency.
+	BLE int
+	// FrequencyMHz is the common centre frequency.
+	FrequencyMHz float64
+}
+
+// CommonChannels derives Table II of the paper by intersecting the two
+// channel maps: every 802.15.4 channel whose centre frequency is also a
+// BLE channel centre frequency.
+func CommonChannels() []ChannelMapping {
+	var out []ChannelMapping
+	for _, zc := range ieee802154.Channels() {
+		freq, err := ieee802154.ChannelFrequencyMHz(zc)
+		if err != nil {
+			continue
+		}
+		bc, err := ble.ChannelForFrequencyMHz(freq)
+		if err != nil {
+			continue
+		}
+		out = append(out, ChannelMapping{Zigbee: zc, BLE: bc, FrequencyMHz: freq})
+	}
+	return out
+}
+
+// BLEChannelFor returns the BLE channel index sharing the centre frequency
+// of the given Zigbee channel, for chips that cannot tune to arbitrary
+// frequencies. Odd Zigbee channels (and 2405/2415/2425... offsets that sit
+// between BLE channels) have no mapping.
+func BLEChannelFor(zigbeeChannel int) (int, error) {
+	freq, err := ieee802154.ChannelFrequencyMHz(zigbeeChannel)
+	if err != nil {
+		return 0, err
+	}
+	bc, err := ble.ChannelForFrequencyMHz(freq)
+	if err != nil {
+		return 0, fmt.Errorf("core: Zigbee channel %d (%g MHz) has no BLE channel equivalent", zigbeeChannel, freq)
+	}
+	return bc, nil
+}

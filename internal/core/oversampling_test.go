@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"wazabee/internal/ble"
+	"wazabee/internal/ieee802154"
+)
+
+// TestLoopbackAcrossOversamplingFactors confirms the primitives do not
+// depend on the default simulation fidelity: the end-to-end path works
+// at low (4) and high (16) samples per chip alike.
+func TestLoopbackAcrossOversamplingFactors(t *testing.T) {
+	psdu := testPSDU(t, []byte{0x41, 0x88, 0x09, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x55})
+	for _, sps := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("sps=%d", sps), func(t *testing.T) {
+			phy, err := ble.NewPHY(ble.LE2M, sps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx, err := NewTransmitter(phy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zphy, err := ieee802154.NewPHY(sps)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// WazaBee TX -> legit RX.
+			sig, err := tx.ModulatePSDU(psdu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			padded, err := sig.Pad(20*sps, 10*sps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dem, err := zphy.Demodulate(padded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dem.PPDU.PSDU, psdu) {
+				t.Error("TX-side PSDU mismatch")
+			}
+
+			// Legit TX -> WazaBee RX.
+			rxPHY, err := ble.NewPHY(ble.LE2M, sps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx, err := NewReceiver(rxPHY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ppdu, err := ieee802154.NewPPDU(psdu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig2, err := zphy.Modulate(ppdu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			padded2, err := sig2.Pad(20*sps, 10*sps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dem2, err := rx.Receive(padded2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dem2.PPDU.PSDU, psdu) {
+				t.Error("RX-side PSDU mismatch")
+			}
+		})
+	}
+}
+
+// TestLoopbackPayloadSizes sweeps frame sizes from empty-payload to the
+// PHY maximum.
+func TestLoopbackPayloadSizes(t *testing.T) {
+	phy, err := ble.NewPHY(ble.LE2M, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(phy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zphy, err := ieee802154.NewPHY(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 50, ieee802154.MaxPSDULength - 2} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		psdu := testPSDU(t, payload)
+		sig, err := tx.ModulatePSDU(psdu)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		padded, err := sig.Pad(160, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dem, err := zphy.Demodulate(padded)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if !bytes.Equal(dem.PPDU.PSDU, psdu) {
+			t.Errorf("size %d: PSDU mismatch", n)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"wazabee/internal/ble"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+)
+
+// Receiver is the WazaBee reception primitive: a BLE radio configured with
+// the MSK preamble pattern as its Access Address, CRC checking disabled
+// and whitening bypassed, whose demodulated bit stream is despread by
+// Hamming distance into 802.15.4 symbols.
+type Receiver struct {
+	phy *ble.PHY
+
+	// MaxPatternErrors is the tolerated bit-error count in the 32-bit
+	// Access Address correlation (hardware typically allows a few).
+	MaxPatternErrors int
+
+	// MaxChipDistance is the despreading quality gate: frames whose
+	// worst per-symbol Hamming distance exceeds it are dropped as not
+	// received, like a correlation-threshold receiver aborting. Zero
+	// disables the gate.
+	MaxChipDistance int
+}
+
+// NewReceiver wraps a BLE PHY; like the transmitter it requires the 2
+// Mbit/s rate.
+func NewReceiver(phy *ble.PHY) (*Receiver, error) {
+	if phy == nil {
+		return nil, fmt.Errorf("core: nil PHY")
+	}
+	rate, err := phy.Mode.SymbolRate()
+	if err != nil {
+		return nil, err
+	}
+	if rate != ieee802154.ChipRate {
+		return nil, fmt.Errorf("core: %v runs at %d sym/s; WazaBee needs the %d chip/s rate (use LE 2M)",
+			phy.Mode, rate, ieee802154.ChipRate)
+	}
+	return &Receiver{phy: phy, MaxPatternErrors: 3, MaxChipDistance: 15}, nil
+}
+
+// Receive demodulates a capture with the BLE GFSK receiver, locks onto the
+// 802.15.4 preamble via the MSK Access Address, splits the bit stream into
+// 31-bit blocks and despreads each block to the nearest PN sequence. It
+// returns ieee802154.ErrNoSync when no frame is present.
+func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
+	cap, err := r.phy.DemodulateFrame(sig, AccessPattern(), r.MaxPatternErrors)
+	if err != nil {
+		// Normalise to the PHY-level sentinel so callers classify
+		// "not received" uniformly.
+		return nil, ieee802154.ErrNoSync
+	}
+	dem, err := ieee802154.DecodePPDUFromTransitions(cap.Bits, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.MaxChipDistance > 0 && dem.WorstChipDistance > r.MaxChipDistance {
+		return nil, ieee802154.ErrNoSync
+	}
+	dem.SyncErrors = cap.PatternErrors
+	dem.SampleOffset = cap.SampleOffset
+	dem.CFOBias = cap.CFOBias
+	return dem, nil
+}
+
+// PHY exposes the underlying BLE modem.
+func (r *Receiver) PHY() *ble.PHY {
+	return r.phy
+}

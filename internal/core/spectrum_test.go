@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"wazabee/internal/ble"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+)
+
+// TestWazaBeeSpectrumFitsChannel verifies the spectral side of the
+// attack: the GFSK emission of a WazaBee frame is at least as compact as
+// the native O-QPSK signal (the Gaussian filter suppresses sidelobes),
+// so the transmission fits the 2 MHz Zigbee channel mask and cannot be
+// told apart by a coarse channel-power monitor.
+func TestWazaBeeSpectrumFitsChannel(t *testing.T) {
+	const sps = 8
+	const fftSize = 1024
+	payload := make([]byte, 24)
+	for i := range payload {
+		payload[i] = byte(i * 53)
+	}
+	chips := ieee802154.Spread(payload)
+
+	zphy, err := ieee802154.NewPHY(sps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oqpsk, err := zphy.ModulateChips(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bphy, err := ble.NewPHY(ble.LE2M, sps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msk, err := ConvertChipStream(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfsk, err := bphy.ModulateBits(msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	psdO, err := dsp.PowerSpectralDensity(oqpsk, fftSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdG, err := dsp.PowerSpectralDensity(gfsk, fftSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The occupied 2 MHz channel is the central 1/8 of the 16 MHz
+	// simulated band.
+	obwO := dsp.OccupiedBandwidth(psdO, 0.125)
+	obwG := dsp.OccupiedBandwidth(psdG, 0.125)
+	if obwO < 0.9 {
+		t.Errorf("O-QPSK in-channel power fraction = %.3f, want ≥ 0.9", obwO)
+	}
+	if obwG < 0.95 {
+		t.Errorf("GFSK in-channel power fraction = %.3f, want ≥ 0.95", obwG)
+	}
+	if obwG < obwO-0.01 {
+		t.Errorf("GFSK (%.3f) should be at least as channel-compact as O-QPSK (%.3f)", obwG, obwO)
+	}
+}

@@ -1,0 +1,132 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place (power-of-two length).
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * scale
+	}
+	return nil
+}
+
+// PowerSpectralDensity estimates the PSD of a signal by Welch's method:
+// Hann-windowed segments of fftSize samples with 50 % overlap, averaged
+// periodograms. The output has fftSize bins ordered from -fs/2 to +fs/2
+// (DC in the middle), normalised so the bin values sum to the signal
+// power.
+func PowerSpectralDensity(sig IQ, fftSize int) ([]float64, error) {
+	if fftSize < 2 || fftSize&(fftSize-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two ≥ 2", fftSize)
+	}
+	if len(sig) < fftSize {
+		return nil, fmt.Errorf("dsp: signal shorter (%d) than FFT size %d", len(sig), fftSize)
+	}
+
+	window := make([]float64, fftSize)
+	var windowPower float64
+	for i := range window {
+		window[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(fftSize-1)))
+		windowPower += window[i] * window[i]
+	}
+
+	psd := make([]float64, fftSize)
+	segments := 0
+	buf := make([]complex128, fftSize)
+	for start := 0; start+fftSize <= len(sig); start += fftSize / 2 {
+		for i := 0; i < fftSize; i++ {
+			buf[i] = sig[start+i] * complex(window[i], 0)
+		}
+		if err := FFT(buf); err != nil {
+			return nil, err
+		}
+		for i, v := range buf {
+			re, im := real(v), imag(v)
+			psd[i] += re*re + im*im
+		}
+		segments++
+	}
+	// Normalise and shift DC to the centre.
+	scale := 1 / (float64(segments) * windowPower * float64(fftSize))
+	out := make([]float64, fftSize)
+	for i := range psd {
+		out[(i+fftSize/2)%fftSize] = psd[i] * scale * float64(fftSize)
+	}
+	return out, nil
+}
+
+// OccupiedBandwidth returns the fraction of total PSD power inside the
+// central fraction of the band — a crude spectral-width measure used to
+// compare modulation footprints.
+func OccupiedBandwidth(psd []float64, centralFraction float64) float64 {
+	if len(psd) == 0 || centralFraction <= 0 {
+		return 0
+	}
+	if centralFraction > 1 {
+		centralFraction = 1
+	}
+	var total float64
+	for _, v := range psd {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	span := int(float64(len(psd)) * centralFraction / 2)
+	mid := len(psd) / 2
+	var inner float64
+	for i := mid - span; i <= mid+span && i < len(psd); i++ {
+		if i < 0 {
+			continue
+		}
+		inner += psd[i]
+	}
+	return inner / total
+}

@@ -1,0 +1,158 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFTLengthValidation(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("expected error for non-power-of-two length")
+	}
+	if err := FFT(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if err := IFFT(make([]complex128, 5)); err == nil {
+		t.Error("expected error for non-power-of-two inverse")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1 (flat spectrum of an impulse)", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 64
+	const bin = 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*bin*float64(i)/n))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := 0.0
+		if i == bin {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("bin %d magnitude = %g, want %g", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	x := make([]complex128, 128)
+	orig := make([]complex128, len(x))
+	for i := range x {
+		x[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	x := make([]complex128, 256)
+	var timePower float64
+	for i := range x {
+		x[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+		timePower += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqPower float64
+	for _, v := range x {
+		freqPower += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqPower /= float64(len(x))
+	if math.Abs(timePower-freqPower)/timePower > 1e-12 {
+		t.Errorf("Parseval violated: time %g vs freq %g", timePower, freqPower)
+	}
+}
+
+func TestPSDToneLocation(t *testing.T) {
+	// A tone at +fs/8 must concentrate power in the bin at +N/8 from
+	// centre.
+	const n = 4096
+	sig := make(IQ, n)
+	for i := range sig {
+		sig[i] = cmplx.Exp(complex(0, 2*math.Pi*0.125*float64(i)))
+	}
+	psd, err := PowerSpectralDensity(sig, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, peakIdx := 0.0, 0
+	for i, v := range psd {
+		if v > peak {
+			peak, peakIdx = v, i
+		}
+	}
+	want := 256/2 + 256/8
+	if peakIdx != want {
+		t.Errorf("PSD peak at bin %d, want %d", peakIdx, want)
+	}
+}
+
+func TestPSDValidation(t *testing.T) {
+	sig := make(IQ, 100)
+	if _, err := PowerSpectralDensity(sig, 100); err == nil {
+		t.Error("expected error for non-power-of-two FFT size")
+	}
+	if _, err := PowerSpectralDensity(sig, 256); err == nil {
+		t.Error("expected error for short signal")
+	}
+}
+
+func TestOccupiedBandwidth(t *testing.T) {
+	psd := make([]float64, 64)
+	psd[32] = 1 // all power at DC
+	if got := OccupiedBandwidth(psd, 0.1); got != 1 {
+		t.Errorf("concentrated OBW = %g, want 1", got)
+	}
+	flat := make([]float64, 64)
+	for i := range flat {
+		flat[i] = 1
+	}
+	got := OccupiedBandwidth(flat, 0.5)
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("flat-spectrum OBW(0.5) = %g, want ≈ 0.5", got)
+	}
+	if OccupiedBandwidth(nil, 0.5) != 0 {
+		t.Error("empty PSD should return 0")
+	}
+	if OccupiedBandwidth(make([]float64, 8), 0.5) != 0 {
+		t.Error("all-zero PSD should return 0")
+	}
+	if OccupiedBandwidth(flat, 0) != 0 {
+		t.Error("zero fraction should return 0")
+	}
+	if OccupiedBandwidth(flat, 2) != 1 {
+		t.Error("fraction above 1 should clamp to the whole band")
+	}
+}

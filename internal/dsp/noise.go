@@ -1,0 +1,80 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AddAWGN adds complex white Gaussian noise to the signal in place such
+// that the resulting signal-to-noise ratio is snrDB relative to the current
+// signal power. rnd must be non-nil so experiments stay reproducible.
+func AddAWGN(s IQ, snrDB float64, rnd *rand.Rand) error {
+	if rnd == nil {
+		return fmt.Errorf("dsp: nil random source")
+	}
+	p := s.Power()
+	if p == 0 {
+		return nil
+	}
+	noisePower := p / math.Pow(10, snrDB/10)
+	sigma := math.Sqrt(noisePower / 2)
+	for i := range s {
+		s[i] += complex(rnd.NormFloat64()*sigma, rnd.NormFloat64()*sigma)
+	}
+	return nil
+}
+
+// NoiseFloor returns a buffer of n pure-noise samples with the given total
+// noise power, modelling the receiver listening to an idle channel.
+func NoiseFloor(n int, power float64, rnd *rand.Rand) (IQ, error) {
+	if rnd == nil {
+		return nil, fmt.Errorf("dsp: nil random source")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("dsp: negative sample count %d", n)
+	}
+	sigma := math.Sqrt(power / 2)
+	out := make(IQ, n)
+	for i := range out {
+		out[i] = complex(rnd.NormFloat64()*sigma, rnd.NormFloat64()*sigma)
+	}
+	return out, nil
+}
+
+// BurstNoise overlays band-limited-style noise bursts onto the signal in
+// place. Each sample position is covered by a burst with the given duty
+// cycle; bursts have geometric length with mean burstLen samples and
+// amplitude sigma per component. This is the interference model used for
+// the co-channel WiFi traffic of the paper's experimental environment: WiFi
+// frames are orders of magnitude wider than a Zigbee channel, so within the
+// victim channel they appear as wideband noise bursts gated by the WiFi
+// duty cycle.
+func BurstNoise(s IQ, dutyCycle float64, burstLen int, power float64, rnd *rand.Rand) error {
+	if rnd == nil {
+		return fmt.Errorf("dsp: nil random source")
+	}
+	if dutyCycle <= 0 || power <= 0 || len(s) == 0 {
+		return nil
+	}
+	if dutyCycle > 1 {
+		dutyCycle = 1
+	}
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	sigma := math.Sqrt(power / 2)
+	// Alternate idle gaps and bursts so that the expected fraction of
+	// samples inside a burst equals dutyCycle.
+	meanGap := float64(burstLen) * (1 - dutyCycle) / dutyCycle
+	i := 0
+	for i < len(s) {
+		gap := int(rnd.ExpFloat64() * meanGap)
+		i += gap
+		length := 1 + int(rnd.ExpFloat64()*float64(burstLen-1))
+		for j := 0; j < length && i < len(s); j, i = j+1, i+1 {
+			s[i] += complex(rnd.NormFloat64()*sigma, rnd.NormFloat64()*sigma)
+		}
+	}
+	return nil
+}

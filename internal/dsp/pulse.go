@@ -1,0 +1,84 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianPulse returns the discrete frequency pulse used by a GFSK
+// modulator: a rectangular pulse of one symbol duration convolved with a
+// Gaussian filter of the given bandwidth-time product, sampled at sps
+// samples per symbol and truncated to span symbols on either side.
+//
+// The pulse is normalised so that its samples sum to sps; integrating the
+// instantaneous frequency over one isolated symbol then accumulates exactly
+// the full modulation phase (±π·m for modulation index m).
+//
+// With bt <= 0 the Gaussian filter is disabled and the pulse degenerates to
+// the rectangular pulse of plain 2-FSK/MSK, which is the approximation the
+// WazaBee analysis makes ("if we neglect the effect of the Gaussian
+// filter").
+func GaussianPulse(bt float64, sps, span int) ([]float64, error) {
+	if sps < 1 {
+		return nil, fmt.Errorf("dsp: samples per symbol %d < 1", sps)
+	}
+	if span < 1 {
+		return nil, fmt.Errorf("dsp: pulse span %d < 1", span)
+	}
+	if bt <= 0 {
+		pulse := make([]float64, sps)
+		for i := range pulse {
+			pulse[i] = 1
+		}
+		return pulse, nil
+	}
+
+	// Gaussian impulse response h(t) = sqrt(2π/ln2)·B·exp(−2π²B²t²/ln2)
+	// with B = bt/Ts, evaluated over ±span symbol periods.
+	n := (2*span + 1) * sps
+	h := make([]float64, n)
+	var hsum float64
+	alpha := 2 * math.Pi * math.Pi * bt * bt / math.Ln2
+	for i := range h {
+		t := (float64(i) - float64(n-1)/2) / float64(sps) // in symbol periods
+		h[i] = math.Exp(-alpha * t * t)
+		hsum += h[i]
+	}
+	for i := range h {
+		h[i] /= hsum
+	}
+
+	// Convolve with the one-symbol rectangular pulse.
+	pulse := make([]float64, n+sps-1)
+	for i := range h {
+		for j := 0; j < sps; j++ {
+			pulse[i+j] += h[i]
+		}
+	}
+
+	// Normalise: each symbol must integrate to a full phase step.
+	var sum float64
+	for _, v := range pulse {
+		sum += v
+	}
+	scale := float64(sps) / sum
+	for i := range pulse {
+		pulse[i] *= scale
+	}
+	return pulse, nil
+}
+
+// HalfSinePulse returns the half-sine chip pulse of O-QPSK with half-sine
+// shaping: sin(πt/(2Tc)) over a duration of two chip periods, sampled at
+// sps samples per chip.
+func HalfSinePulse(sps int) ([]float64, error) {
+	if sps < 1 {
+		return nil, fmt.Errorf("dsp: samples per chip %d < 1", sps)
+	}
+	n := 2 * sps
+	pulse := make([]float64, n)
+	for i := range pulse {
+		pulse[i] = math.Sin(math.Pi * float64(i) / float64(n))
+	}
+	return pulse, nil
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+
+	"wazabee/internal/chip"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/radio"
+	"wazabee/internal/zigbee"
+)
+
+// SweepPoint is one operating point of a packet-error-rate sweep.
+type SweepPoint struct {
+	SNRdB float64
+	// PER is the packet error rate (anything but a valid frame counts
+	// as an error).
+	PER float64
+	// CorruptedRate and LossRate split the errors by class.
+	CorruptedRate float64
+	LossRate      float64
+}
+
+// SweepConfig parameterises a PER-versus-SNR sweep, an extension beyond
+// the paper's single operating point: it locates the sensitivity knee of
+// each primitive and quantifies the Gaussian-approximation penalty of
+// the transmission side.
+type SweepConfig struct {
+	// SNRs lists the operating points in dB.
+	SNRs []float64
+	// FramesPerPoint is the number of frames per operating point.
+	FramesPerPoint int
+	// SamplesPerChip is the oversampling factor.
+	SamplesPerChip int
+	// Seed drives all randomness.
+	Seed int64
+	// Channel is the Zigbee channel to run on.
+	Channel int
+}
+
+// DefaultSweepConfig covers the interesting 0–14 dB region.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		SNRs:           []float64{0, 2, 4, 5, 6, 7, 8, 10, 12, 14},
+		FramesPerPoint: 50,
+		SamplesPerChip: 8,
+		Seed:           1,
+		Channel:        zigbee.DefaultChannel,
+	}
+}
+
+// RunSweep measures PER versus SNR for one chip model and side over a
+// clean channel (no WiFi, no CFO — pure sensitivity).
+func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error) {
+	if len(cfg.SNRs) == 0 || cfg.FramesPerPoint < 1 {
+		return nil, fmt.Errorf("experiment: empty sweep configuration")
+	}
+	if side != Reception && side != Transmission {
+		return nil, fmt.Errorf("experiment: invalid side %d", int(side))
+	}
+	freq, err := ieee802154.ChannelFrequencyMHz(cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+	stick := chip.RZUSBStick()
+	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
+	if err != nil {
+		return nil, err
+	}
+	medium, err := radio.NewMedium(float64(cfg.SamplesPerChip)*ieee802154.ChipRate, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepPoint, 0, len(cfg.SNRs))
+	for _, snr := range cfg.SNRs {
+		point := SweepPoint{SNRdB: snr}
+		corrupted, lost := 0, 0
+		for i := 0; i < cfg.FramesPerPoint; i++ {
+			frame := ieee802154.NewDataFrame(uint8(i), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+				zigbee.DefaultSensor, zigbee.SensorPayload(uint16(i)), false)
+			psdu, err := frame.Encode()
+			if err != nil {
+				return nil, err
+			}
+			ppdu, err := ieee802154.NewPPDU(psdu)
+			if err != nil {
+				return nil, err
+			}
+
+			var sig dsp.IQ
+			var rxNF float64
+			switch side {
+			case Reception:
+				sig, err = zigbeePHY.Modulate(ppdu)
+				rxNF = model.NoiseFigureDB
+			case Transmission:
+				tx, terr := model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+				if terr != nil {
+					return nil, terr
+				}
+				sig, err = tx.Modulate(ppdu)
+				rxNF = stick.NoiseFigureDB
+			}
+			if err != nil {
+				return nil, err
+			}
+			link := radio.Link{
+				SNRdB:       snr - rxNF,
+				LeadSamples: 30 * cfg.SamplesPerChip,
+				LagSamples:  15 * cfg.SamplesPerChip,
+			}
+			capture, err := medium.Deliver(sig, freq, freq, link)
+			if err != nil {
+				return nil, err
+			}
+
+			classify(model, zigbeePHY, side, cfg.SamplesPerChip, capture, psdu, &corrupted, &lost)
+		}
+		n := float64(cfg.FramesPerPoint)
+		point.CorruptedRate = float64(corrupted) / n
+		point.LossRate = float64(lost) / n
+		point.PER = point.CorruptedRate + point.LossRate
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+func classify(model chip.Model, zigbeePHY *ieee802154.PHY, side Side, sps int, capture dsp.IQ, want []byte, corrupted, lost *int) {
+	var psdu []byte
+	switch side {
+	case Reception:
+		rx, err := model.NewWazaBeeReceiver(sps)
+		if err != nil {
+			*lost++
+			return
+		}
+		dem, err := rx.Receive(capture)
+		if err != nil {
+			*lost++
+			return
+		}
+		psdu = dem.PPDU.PSDU
+	case Transmission:
+		dem, err := zigbeePHY.Demodulate(capture)
+		if err != nil {
+			*lost++
+			return
+		}
+		psdu = dem.PPDU.PSDU
+	}
+	if len(psdu) != len(want) {
+		*corrupted++
+		return
+	}
+	for i := range want {
+		if psdu[i] != want[i] {
+			*corrupted++
+			return
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperRow is one row of Table III as published.
+type PaperRow struct {
+	Channel   int
+	Valid     int
+	Corrupted int
+}
+
+// PaperTable3 returns the published Table III column for a chip name and
+// side, and false for combinations the paper does not report.
+func PaperTable3(chipName string, side Side) ([]PaperRow, bool) {
+	key := chipName + "/" + side.String()
+	rows, ok := paperTable3[key]
+	return append([]PaperRow{}, rows...), ok
+}
+
+// paperTable3 transcribes Table III of the paper (valid / corrupted per
+// 100 frames; the remainder was not received).
+var paperTable3 = map[string][]PaperRow{
+	"nRF52832/reception": {
+		{11, 100, 0}, {12, 100, 0}, {13, 100, 0}, {14, 100, 0},
+		{15, 99, 1}, {16, 100, 0}, {17, 98, 1}, {18, 95, 2},
+		{19, 100, 0}, {20, 100, 0}, {21, 98, 2}, {22, 95, 2},
+		{23, 97, 0}, {24, 99, 1}, {25, 100, 0}, {26, 97, 2},
+	},
+	"CC1352-R1/reception": {
+		{11, 100, 0}, {12, 100, 0}, {13, 100, 0}, {14, 100, 0},
+		{15, 100, 0}, {16, 97, 0}, {17, 99, 0}, {18, 100, 0},
+		{19, 100, 0}, {20, 100, 0}, {21, 100, 0}, {22, 98, 0},
+		{23, 96, 0}, {24, 100, 0}, {25, 100, 0}, {26, 100, 0},
+	},
+	"nRF52832/transmission": {
+		{11, 98, 0}, {12, 100, 0}, {13, 95, 1}, {14, 97, 3},
+		{15, 100, 0}, {16, 90, 3}, {17, 94, 3}, {18, 91, 2},
+		{19, 97, 0}, {20, 100, 0}, {21, 100, 0}, {22, 100, 0},
+		{23, 100, 0}, {24, 100, 0}, {25, 100, 0}, {26, 98, 1},
+	},
+	"CC1352-R1/transmission": {
+		{11, 100, 0}, {12, 100, 0}, {13, 100, 0}, {14, 100, 0},
+		{15, 100, 0}, {16, 100, 0}, {17, 96, 0}, {18, 95, 0},
+		{19, 100, 0}, {20, 100, 0}, {21, 100, 0}, {22, 100, 0},
+		{23, 100, 0}, {24, 100, 0}, {25, 100, 0}, {26, 100, 0},
+	},
+}
+
+// PaperAverageValid returns the published average valid-frame percentage
+// for a chip/side, and false when unreported.
+func PaperAverageValid(chipName string, side Side) (float64, bool) {
+	rows, ok := PaperTable3(chipName, side)
+	if !ok {
+		return 0, false
+	}
+	sum := 0
+	for _, r := range rows {
+		sum += r.Valid
+	}
+	return float64(sum) / float64(len(rows)), true
+}
+
+// FormatComparison renders a measured result next to the paper's numbers
+// in the layout of Table III.
+func FormatComparison(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s primitive (%d frames/channel)\n", r.Chip, r.Side, r.Frames)
+	fmt.Fprintf(&b, "%-8s %24s   %24s\n", "", "paper (valid/corrupted)", "measured (valid/corr/lost)")
+	paper, havePaper := PaperTable3(r.Chip, r.Side)
+	for i, row := range r.Rows {
+		paperCell := "—"
+		if havePaper && i < len(paper) {
+			paperCell = fmt.Sprintf("%3d / %d", paper[i].Valid, paper[i].Corrupted)
+		}
+		fmt.Fprintf(&b, "ch %-5d %24s   %14s\n", row.Channel, paperCell,
+			fmt.Sprintf("%3d / %d / %d", row.Valid, row.Corrupted, row.NotReceived))
+	}
+	valid, corrupted, lost := r.Totals()
+	total := valid + corrupted + lost
+	fmt.Fprintf(&b, "average valid: measured %.3f %%", 100*float64(valid)/float64(total))
+	if avg, ok := PaperAverageValid(r.Chip, r.Side); ok {
+		fmt.Fprintf(&b, " (paper: %.3f %%)", avg)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,306 @@
+// Package experiment regenerates the paper's evaluation: the Table III
+// assessment of the WazaBee reception and transmission primitives (100
+// counter-tagged frames per Zigbee channel, classified as valid, received
+// with integrity corruption, or not received) under the paper's
+// experimental conditions — including the WiFi networks on channels 6 and
+// 11 that degrade Zigbee channels 17–18 and 21–23.
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/chip"
+	"wazabee/internal/core"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/radio"
+	"wazabee/internal/zigbee"
+)
+
+// Side selects which WazaBee primitive the run assesses.
+type Side int
+
+const (
+	// Reception: a legitimate 802.15.4 radio transmits, the diverted
+	// BLE chip receives.
+	Reception Side = iota + 1
+	// Transmission: the diverted BLE chip transmits, a legitimate
+	// 802.15.4 radio (the RZUSBStick) receives.
+	Transmission
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	switch s {
+	case Reception:
+		return "reception"
+	case Transmission:
+		return "transmission"
+	default:
+		return fmt.Sprintf("side(%d)", int(s))
+	}
+}
+
+// Config parameterises a Table III run.
+type Config struct {
+	// FramesPerChannel is 100 in the paper.
+	FramesPerChannel int
+	// SamplesPerChip is the baseband oversampling factor.
+	SamplesPerChip int
+	// Seed makes the run reproducible.
+	Seed int64
+	// SNRdB is the link budget of the 3 m lab path before the
+	// receiver's noise figure is subtracted.
+	SNRdB float64
+	// WiFi enables the interfering networks on WiFi channels 6 and 11.
+	WiFi bool
+	// WiFiDutyCycle and WiFiPower shape the interference (fraction of
+	// airtime, power relative to the received signal).
+	WiFiDutyCycle float64
+	WiFiPower     float64
+}
+
+// DefaultConfig reproduces the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		FramesPerChannel: 100,
+		SamplesPerChip:   8,
+		Seed:             1,
+		SNRdB:            10,
+		WiFi:             true,
+		WiFiDutyCycle:    0.005,
+		WiFiPower:        6.0,
+	}
+}
+
+// ChannelResult is one row of Table III for one chip and side.
+type ChannelResult struct {
+	Channel     int
+	Valid       int
+	Corrupted   int
+	NotReceived int
+}
+
+// Result is a full 16-channel column of Table III.
+type Result struct {
+	Chip   string
+	Side   Side
+	Frames int
+	Rows   []ChannelResult
+}
+
+// Totals sums the classification counts over all channels.
+func (r *Result) Totals() (valid, corrupted, notReceived int) {
+	for _, row := range r.Rows {
+		valid += row.Valid
+		corrupted += row.Corrupted
+		notReceived += row.NotReceived
+	}
+	return valid, corrupted, notReceived
+}
+
+// ValidRate returns the fraction of frames received without corruption,
+// the headline averages of section V (98.6–99.4 %).
+func (r *Result) ValidRate() float64 {
+	valid, corrupted, notReceived := r.Totals()
+	total := valid + corrupted + notReceived
+	if total == 0 {
+		return 0
+	}
+	return float64(valid) / float64(total)
+}
+
+// Row returns the result row for a channel, and false when absent.
+func (r *Result) Row(channel int) (ChannelResult, bool) {
+	for _, row := range r.Rows {
+		if row.Channel == channel {
+			return row, true
+		}
+	}
+	return ChannelResult{}, false
+}
+
+// Run executes the Table III experiment for one chip model and side.
+// Channels run concurrently, each on its own medium seeded from
+// (Seed, channel), so results are reproducible regardless of
+// parallelism.
+func Run(cfg Config, model chip.Model, side Side) (*Result, error) {
+	if cfg.FramesPerChannel < 1 {
+		return nil, fmt.Errorf("experiment: frames per channel %d < 1", cfg.FramesPerChannel)
+	}
+	if side != Reception && side != Transmission {
+		return nil, fmt.Errorf("experiment: invalid side %d", int(side))
+	}
+	// Validate the chip/side combination up front (one shared attempt)
+	// so misconfiguration surfaces as an error, not sixteen of them.
+	var err error
+	switch side {
+	case Reception:
+		_, err = model.NewWazaBeeReceiver(cfg.SamplesPerChip)
+	case Transmission:
+		_, err = model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	channels := ieee802154.Channels()
+	result := &Result{
+		Chip:   model.Name,
+		Side:   side,
+		Frames: cfg.FramesPerChannel,
+		Rows:   make([]ChannelResult, len(channels)),
+	}
+	errs := make([]error, len(channels))
+	var wg sync.WaitGroup
+	for idx, channel := range channels {
+		wg.Add(1)
+		go func(idx, channel int) {
+			defer wg.Done()
+			row, err := runChannel(cfg, model, side, channel)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			result.Rows[idx] = row
+		}(idx, channel)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// runChannel measures one Table III cell: FramesPerChannel frames on one
+// channel, with all randomness derived from (Seed, channel).
+func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelResult, error) {
+	row := ChannelResult{Channel: channel}
+
+	sampleRate := float64(cfg.SamplesPerChip) * ieee802154.ChipRate
+	medium, err := radio.NewMedium(sampleRate, cfg.Seed*1000+int64(channel))
+	if err != nil {
+		return row, err
+	}
+	if cfg.WiFi {
+		burst := cfg.SamplesPerChip * 100 // ≈ a short WiFi frame
+		for _, wifiChannel := range []int{6, 11} {
+			w, err := radio.NewWiFiInterferer(wifiChannel, cfg.WiFiDutyCycle, cfg.WiFiPower, burst)
+			if err != nil {
+				return row, err
+			}
+			medium.AddWiFi(w)
+		}
+	}
+
+	stick := chip.RZUSBStick()
+	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
+	if err != nil {
+		return row, err
+	}
+
+	var (
+		wazaTX *core.Transmitter
+		wazaRX *core.Receiver
+	)
+	switch side {
+	case Reception:
+		wazaRX, err = model.NewWazaBeeReceiver(cfg.SamplesPerChip)
+	case Transmission:
+		wazaTX, err = model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+	}
+	if err != nil {
+		return row, err
+	}
+
+	rnd := medium.Rand()
+	freq, err := ieee802154.ChannelFrequencyMHz(channel)
+	if err != nil {
+		return row, err
+	}
+
+	{
+		for i := 0; i < cfg.FramesPerChannel; i++ {
+			// The paper's frames carry a counter incremented with
+			// each frame.
+			counter := uint16(i)
+			frame := ieee802154.NewDataFrame(uint8(i), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+				zigbee.DefaultSensor, zigbee.SensorPayload(counter), false)
+			psdu, err := frame.Encode()
+			if err != nil {
+				return row, err
+			}
+			ppdu, err := ieee802154.NewPPDU(psdu)
+			if err != nil {
+				return row, err
+			}
+
+			var sig dsp.IQ
+			var rxNF, rxRej, txPPM, rxPPM float64
+			switch side {
+			case Reception:
+				sig, err = zigbeePHY.Modulate(ppdu)
+				rxNF = model.NoiseFigureDB
+				rxRej = model.InterferenceRejectionDB
+				txPPM, rxPPM = stick.CrystalPPM, model.CrystalPPM
+			case Transmission:
+				sig, err = wazaTX.Modulate(ppdu)
+				rxNF = stick.NoiseFigureDB
+				rxRej = stick.InterferenceRejectionDB
+				txPPM, rxPPM = model.CrystalPPM, stick.CrystalPPM
+			}
+			if err != nil {
+				return row, err
+			}
+
+			cfoHz := (rnd.Float64()*2 - 1) * (txPPM + rxPPM) * freq // 1 ppm at f MHz = f Hz
+			link := radio.Link{
+				SNRdB:                   cfg.SNRdB - rxNF,
+				CFOHz:                   cfoHz,
+				LeadSamples:             40 * cfg.SamplesPerChip,
+				LagSamples:              20 * cfg.SamplesPerChip,
+				InterferenceRejectionDB: rxRej,
+			}
+			capture, err := medium.Deliver(sig, freq, freq, link)
+			if err != nil {
+				return row, err
+			}
+
+			var psduRx []byte
+			switch side {
+			case Reception:
+				dem, rerr := wazaRX.Receive(capture)
+				if rerr != nil {
+					err = rerr
+				} else {
+					psduRx = dem.PPDU.PSDU
+				}
+			case Transmission:
+				dem, rerr := zigbeePHY.Demodulate(capture)
+				if rerr != nil {
+					err = rerr
+				} else {
+					psduRx = dem.PPDU.PSDU
+				}
+			}
+
+			switch {
+			case errors.Is(err, ieee802154.ErrNoSync):
+				row.NotReceived++
+			case err != nil:
+				return row, err
+			case bitstream.CheckFCS(psduRx) && bytes.Equal(psduRx, psdu):
+				row.Valid++
+			default:
+				row.Corrupted++
+			}
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,306 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+
+	"wazabee/internal/attack"
+	"wazabee/internal/bitstream"
+	"wazabee/internal/chip"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/zigbee"
+)
+
+const testSPS = 8
+
+func testMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testPPDU(t *testing.T, payload []byte) *ieee802154.PPDU {
+	t.Helper()
+	fcs := bitstream.FCS16Bytes(bitstream.FCS16(payload))
+	ppdu, err := ieee802154.NewPPDU(append(append([]byte{}, payload...), fcs[0], fcs[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ppdu
+}
+
+func legitFrame(t *testing.T) dsp.IQ {
+	t.Helper()
+	phy, err := ieee802154.NewPHY(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu := testPPDU(t, []byte{0x41, 0x88, 0x01, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x2a})
+	sig, err := phy.Modulate(ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := sig.Pad(180, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return padded
+}
+
+func wazabeeFrame(t *testing.T, model chip.Model) dsp.IQ {
+	t.Helper()
+	tx, err := model.NewWazaBeeTransmitter(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu := testPPDU(t, []byte{0x41, 0x88, 0x01, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x2a})
+	sig, err := tx.Modulate(ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := sig.Pad(180, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return padded
+}
+
+func TestAlertKindStrings(t *testing.T) {
+	tests := []struct {
+		kind AlertKind
+		want string
+	}{
+		{AlertBLEFraming, "ble-framing"},
+		{AlertModulationFingerprint, "modulation-fingerprint"},
+		{AlertUnexpectedTraffic, "unexpected-traffic"},
+		{AlertKind(9), "alert(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestInspectLegitimateFrameIsClean(t *testing.T) {
+	m := testMonitor(t)
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		sig := legitFrame(t)
+		if err := dsp.AddAWGN(sig, 18, rnd); err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.Inspect(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.FrameSeen {
+			t.Fatal("legitimate frame not seen")
+		}
+		if v.Suspicious() {
+			t.Errorf("trial %d: legitimate frame flagged: %+v (EVM %.3f)", trial, v.Alerts, v.SoftEVM)
+		}
+	}
+}
+
+func TestInspectFlagsWazaBeeTransmitter(t *testing.T) {
+	m := testMonitor(t)
+	rnd := rand.New(rand.NewSource(2))
+	for _, model := range []chip.Model{chip.NRF52832(), chip.CC1352R1()} {
+		t.Run(model.Name, func(t *testing.T) {
+			detections := 0
+			for trial := 0; trial < 5; trial++ {
+				sig := wazabeeFrame(t, model)
+				if err := dsp.AddAWGN(sig, 18, rnd); err != nil {
+					t.Fatal(err)
+				}
+				v, err := m.Inspect(sig)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !v.FrameSeen {
+					t.Fatal("WazaBee frame not seen")
+				}
+				if v.Has(AlertModulationFingerprint) {
+					detections++
+				}
+			}
+			if detections < 4 {
+				t.Errorf("fingerprint detected %d/5 WazaBee frames from %s", detections, model.Name)
+			}
+		})
+	}
+}
+
+func TestInspectFlagsScenarioAInjection(t *testing.T) {
+	// The smartphone path wraps the Zigbee frame in a whitened
+	// AUX_ADV_IND; the IDS must spot the BLE framing around it.
+	m := testMonitor(t)
+	phone, err := attack.NewSmartphone(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu := testPPDU(t, []byte{0x41, 0x88, 0x05, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x07})
+
+	// Find an event whose CSA#2 draw hits BLE channel 8 so the forged
+	// data is dewhitened for the right channel.
+	for event := uint16(0); event < 500; event++ {
+		sig, bleChannel, err := phone.AdvertiseOnce(event, ppdu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bleChannel != 8 {
+			continue
+		}
+		padded, err := sig.Pad(150, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.Inspect(padded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.FrameSeen {
+			t.Fatal("embedded frame not decoded by the monitor")
+		}
+		if !v.Has(AlertBLEFraming) {
+			t.Error("BLE framing around the injected frame not detected")
+		}
+		if !v.Has(AlertModulationFingerprint) {
+			t.Error("GFSK fingerprint of the injected frame not detected")
+		}
+		return
+	}
+	t.Fatal("CSA#2 never selected channel 8")
+}
+
+func TestInspectUnexpectedTrafficPolicy(t *testing.T) {
+	m := testMonitor(t)
+	m.ChannelExpected = false
+	v, err := m.Inspect(legitFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has(AlertUnexpectedTraffic) {
+		t.Error("traffic on a policy-forbidden channel not flagged")
+	}
+}
+
+func TestInspectNoiseOnly(t *testing.T) {
+	m := testMonitor(t)
+	rnd := rand.New(rand.NewSource(3))
+	noise, err := dsp.NoiseFloor(8192, 0.1, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Inspect(noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FrameSeen || v.Suspicious() {
+		t.Errorf("noise-only capture produced %+v", v)
+	}
+	if _, err := m.Inspect(nil); err == nil {
+		t.Error("expected error for empty capture")
+	}
+}
+
+func TestInspectScenarioBTrafficFingerprinted(t *testing.T) {
+	// Scenario B frames come from a bare WazaBee transmitter (no BLE
+	// packet framing), so only the fingerprint detector can see them.
+	m := testMonitor(t)
+	sig := wazabeeFrame(t, chip.NRF51822())
+	v, err := m.Inspect(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FrameSeen {
+		t.Fatal("frame not seen")
+	}
+	if v.Has(AlertBLEFraming) {
+		t.Error("bare WazaBee frame should not trigger the BLE-framing detector")
+	}
+	if !v.Has(AlertModulationFingerprint) {
+		t.Errorf("bare WazaBee frame not fingerprinted (EVM %.3f)", v.SoftEVM)
+	}
+}
+
+func TestVerdictHelpers(t *testing.T) {
+	v := &Verdict{}
+	if v.Suspicious() || v.Has(AlertBLEFraming) {
+		t.Error("empty verdict should be clean")
+	}
+	v.Alerts = append(v.Alerts, Alert{Kind: AlertBLEFraming})
+	if !v.Suspicious() || !v.Has(AlertBLEFraming) || v.Has(AlertUnexpectedTraffic) {
+		t.Error("verdict helpers inconsistent")
+	}
+}
+
+// TestIDSOnVictimNetwork watches the simulated victim network: routine
+// sensor traffic stays clean while an attack step raises an alert.
+func TestIDSOnVictimNetwork(t *testing.T) {
+	sim, err := zigbee.NewSimulation(11, testSPS, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMonitor(t)
+
+	capture, err := sim.Capture(zigbee.DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Inspect(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FrameSeen {
+		t.Fatal("sensor traffic not seen")
+	}
+	if v.Suspicious() {
+		t.Errorf("legitimate sensor traffic flagged: %+v (EVM %.3f)", v.Alerts, v.SoftEVM)
+	}
+
+	// Now the attacker spoofs a reading through a diverted BLE chip.
+	model := chip.NRF52832()
+	tx, err := model.NewWazaBeeTransmitter(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := model.NewWazaBeeReceiver(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := attack.NewTracker(tx, rx, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &attack.NetworkInfo{Channel: zigbee.DefaultChannel, PAN: zigbee.DefaultPAN, Coordinator: zigbee.DefaultCoordinator}
+	if err := tracker.SpoofData(info, zigbee.DefaultSensor, 4242); err != nil {
+		t.Fatal(err)
+	}
+	// Re-create the attacker waveform as the IDS antenna would hear it.
+	frame := ieee802154.NewDataFrame(1, info.PAN, info.Coordinator, zigbee.DefaultSensor, zigbee.SensorPayload(4242), true)
+	psdu, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atkSig, err := tx.ModulatePSDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := atkSig.Pad(150, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m.Inspect(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Has(AlertModulationFingerprint) {
+		t.Errorf("attack traffic not fingerprinted (EVM %.3f)", v2.SoftEVM)
+	}
+}

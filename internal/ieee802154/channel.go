@@ -1,0 +1,37 @@
+package ieee802154
+
+import "fmt"
+
+const (
+	// FirstChannel and LastChannel bound the 2.4 GHz O-QPSK channel page
+	// (channels 11..26).
+	FirstChannel = 11
+	LastChannel  = 26
+
+	// ChipRate is the O-QPSK chip rate in the 2.4 GHz band: 2 Mchip/s.
+	ChipRate = 2_000_000
+
+	// BitRate is the PPDU bit rate before spreading: 250 kbit/s.
+	BitRate = 250_000
+
+	// ChannelBandwidthMHz is the occupied bandwidth of one channel.
+	ChannelBandwidthMHz = 2
+)
+
+// ChannelFrequencyMHz implements equation (6) of the paper: the centre
+// frequency in MHz of 802.15.4 channel k (11..26) is 2405 + 5(k-11).
+func ChannelFrequencyMHz(channel int) (float64, error) {
+	if channel < FirstChannel || channel > LastChannel {
+		return 0, fmt.Errorf("ieee802154: channel %d out of range [%d,%d]", channel, FirstChannel, LastChannel)
+	}
+	return 2405 + 5*float64(channel-FirstChannel), nil
+}
+
+// Channels returns the list of 2.4 GHz channel numbers in ascending order.
+func Channels() []int {
+	out := make([]int, 0, LastChannel-FirstChannel+1)
+	for k := FirstChannel; k <= LastChannel; k++ {
+		out = append(out, k)
+	}
+	return out
+}

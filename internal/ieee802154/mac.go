@@ -1,0 +1,333 @@
+package ieee802154
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wazabee/internal/bitstream"
+)
+
+// FrameType enumerates the IEEE 802.15.4 MAC frame types.
+type FrameType uint8
+
+const (
+	FrameBeacon FrameType = iota
+	FrameData
+	FrameAck
+	FrameCommand
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t FrameType) String() string {
+	switch t {
+	case FrameBeacon:
+		return "beacon"
+	case FrameData:
+		return "data"
+	case FrameAck:
+		return "ack"
+	case FrameCommand:
+		return "command"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// AddrMode enumerates the MAC addressing modes supported here.
+type AddrMode uint8
+
+const (
+	// AddrNone omits the address field.
+	AddrNone AddrMode = 0
+	// AddrShort uses 16-bit short addresses, the mode the scenario
+	// networks use (0x0042, 0x0063).
+	AddrShort AddrMode = 2
+)
+
+// CommandID enumerates MAC command identifiers used by the scenarios.
+type CommandID uint8
+
+const (
+	// CmdAssociationRequest asks a coordinator to admit a new device.
+	CmdAssociationRequest CommandID = 0x01
+	// CmdAssociationResponse carries the assigned short address.
+	CmdAssociationResponse CommandID = 0x02
+	// CmdBeaconRequest solicits beacons during active scanning.
+	CmdBeaconRequest CommandID = 0x07
+)
+
+// Association response status codes.
+const (
+	AssocStatusSuccess       = 0x00
+	AssocStatusPANAtCapacity = 0x01
+	AssocStatusDenied        = 0x02
+)
+
+// BroadcastPAN and BroadcastAddr are the 0xFFFF broadcast identifiers;
+// NoShortAddress (0xFFFE) marks a device that has not yet been assigned
+// a short address.
+const (
+	BroadcastPAN   = 0xffff
+	BroadcastAddr  = 0xffff
+	NoShortAddress = 0xfffe
+)
+
+// MACFrame models a MAC protocol data unit with short addressing. Extended
+// (64-bit) addressing is not needed by any reproduced experiment.
+type MACFrame struct {
+	Type           FrameType
+	Security       bool
+	FramePending   bool
+	AckRequest     bool
+	PANCompression bool
+	Seq            uint8
+
+	DestMode AddrMode
+	DestPAN  uint16
+	DestAddr uint16
+
+	SrcMode AddrMode
+	SrcPAN  uint16
+	SrcAddr uint16
+
+	Payload []byte
+}
+
+// Encode serialises the frame into a PSDU: MHR, payload and the two-byte
+// FCS computed over everything before it.
+func (f *MACFrame) Encode() ([]byte, error) {
+	if f.Type > FrameCommand {
+		return nil, fmt.Errorf("ieee802154: invalid frame type %d", f.Type)
+	}
+	if err := checkAddrMode(f.DestMode); err != nil {
+		return nil, err
+	}
+	if err := checkAddrMode(f.SrcMode); err != nil {
+		return nil, err
+	}
+	if f.PANCompression && (f.DestMode == AddrNone || f.SrcMode == AddrNone) {
+		return nil, fmt.Errorf("ieee802154: PAN ID compression requires both addresses")
+	}
+
+	fcf := uint16(f.Type)
+	if f.Security {
+		fcf |= 1 << 3
+	}
+	if f.FramePending {
+		fcf |= 1 << 4
+	}
+	if f.AckRequest {
+		fcf |= 1 << 5
+	}
+	if f.PANCompression {
+		fcf |= 1 << 6
+	}
+	fcf |= uint16(f.DestMode) << 10
+	fcf |= uint16(f.SrcMode) << 14
+
+	out := make([]byte, 0, 11+len(f.Payload)+2)
+	out = binary.LittleEndian.AppendUint16(out, fcf)
+	out = append(out, f.Seq)
+	if f.DestMode == AddrShort {
+		out = binary.LittleEndian.AppendUint16(out, f.DestPAN)
+		out = binary.LittleEndian.AppendUint16(out, f.DestAddr)
+	}
+	if f.SrcMode == AddrShort {
+		if !f.PANCompression {
+			out = binary.LittleEndian.AppendUint16(out, f.SrcPAN)
+		}
+		out = binary.LittleEndian.AppendUint16(out, f.SrcAddr)
+	}
+	out = append(out, f.Payload...)
+
+	fcs := bitstream.FCS16Bytes(bitstream.FCS16(out))
+	out = append(out, fcs[0], fcs[1])
+	if len(out) > MaxPSDULength {
+		return nil, fmt.Errorf("ieee802154: encoded frame length %d exceeds %d", len(out), MaxPSDULength)
+	}
+	return out, nil
+}
+
+// ParseMACFrame decodes a PSDU (including FCS) into a MACFrame. The FCS is
+// verified; a mismatch returns FCSError so callers can distinguish
+// corruption from malformed headers.
+func ParseMACFrame(psdu []byte) (*MACFrame, error) {
+	if len(psdu) < 5 { // FCF + seq + FCS
+		return nil, fmt.Errorf("ieee802154: PSDU too short (%d bytes)", len(psdu))
+	}
+	if !bitstream.CheckFCS(psdu) {
+		return nil, &FCSError{Length: len(psdu)}
+	}
+	body := psdu[:len(psdu)-2]
+
+	fcf := binary.LittleEndian.Uint16(body[0:2])
+	f := &MACFrame{
+		Type:           FrameType(fcf & 0x7),
+		Security:       fcf&(1<<3) != 0,
+		FramePending:   fcf&(1<<4) != 0,
+		AckRequest:     fcf&(1<<5) != 0,
+		PANCompression: fcf&(1<<6) != 0,
+		Seq:            body[2],
+		DestMode:       AddrMode((fcf >> 10) & 0x3),
+		SrcMode:        AddrMode((fcf >> 14) & 0x3),
+	}
+	if err := checkAddrMode(f.DestMode); err != nil {
+		return nil, err
+	}
+	if err := checkAddrMode(f.SrcMode); err != nil {
+		return nil, err
+	}
+
+	off := 3
+	need := func(n int) error {
+		if off+n > len(body) {
+			return fmt.Errorf("ieee802154: truncated addressing fields")
+		}
+		return nil
+	}
+	if f.DestMode == AddrShort {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		f.DestPAN = binary.LittleEndian.Uint16(body[off:])
+		f.DestAddr = binary.LittleEndian.Uint16(body[off+2:])
+		off += 4
+	}
+	if f.SrcMode == AddrShort {
+		if f.PANCompression {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			f.SrcPAN = f.DestPAN
+			f.SrcAddr = binary.LittleEndian.Uint16(body[off:])
+			off += 2
+		} else {
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			f.SrcPAN = binary.LittleEndian.Uint16(body[off:])
+			f.SrcAddr = binary.LittleEndian.Uint16(body[off+2:])
+			off += 4
+		}
+	}
+	f.Payload = make([]byte, len(body)-off)
+	copy(f.Payload, body[off:])
+	return f, nil
+}
+
+// FCSError reports a frame whose checksum did not verify — the "received
+// with integrity corruption" class of Table III.
+type FCSError struct {
+	Length int
+}
+
+func (e *FCSError) Error() string {
+	return fmt.Sprintf("ieee802154: FCS mismatch on %d-byte PSDU", e.Length)
+}
+
+func checkAddrMode(m AddrMode) error {
+	if m != AddrNone && m != AddrShort {
+		return fmt.Errorf("ieee802154: unsupported addressing mode %d", m)
+	}
+	return nil
+}
+
+// NewBeaconRequest builds the broadcast beacon-request command used by
+// active scanning (scenario B step 1).
+func NewBeaconRequest(seq uint8) *MACFrame {
+	return &MACFrame{
+		Type:     FrameCommand,
+		Seq:      seq,
+		DestMode: AddrShort,
+		DestPAN:  BroadcastPAN,
+		DestAddr: BroadcastAddr,
+		SrcMode:  AddrNone,
+		Payload:  []byte{byte(CmdBeaconRequest)},
+	}
+}
+
+// NewBeacon builds a minimal beacon frame advertising a PAN coordinator, as
+// sent in response to a beacon request on a beacon-enabled-less network.
+func NewBeacon(seq uint8, pan, coordAddr uint16) *MACFrame {
+	// Superframe specification: BO=SO=15 (non-beacon-enabled), PAN
+	// coordinator bit set, association permitted.
+	const superframeSpec = 0xcfff
+	payload := binary.LittleEndian.AppendUint16(nil, superframeSpec)
+	payload = append(payload, 0x00, 0x00) // GTS none, no pending addresses
+	return &MACFrame{
+		Type:    FrameBeacon,
+		Seq:     seq,
+		SrcMode: AddrShort,
+		SrcPAN:  pan,
+		SrcAddr: coordAddr,
+		Payload: payload,
+	}
+}
+
+// NewDataFrame builds an intra-PAN data frame between two short addresses.
+func NewDataFrame(seq uint8, pan, dest, src uint16, payload []byte, ackRequest bool) *MACFrame {
+	return &MACFrame{
+		Type:           FrameData,
+		AckRequest:     ackRequest,
+		PANCompression: true,
+		Seq:            seq,
+		DestMode:       AddrShort,
+		DestPAN:        pan,
+		DestAddr:       dest,
+		SrcMode:        AddrShort,
+		SrcPAN:         pan,
+		SrcAddr:        src,
+		Payload:        payload,
+	}
+}
+
+// NewAck builds the immediate acknowledgement for a frame with the given
+// sequence number.
+func NewAck(seq uint8) *MACFrame {
+	return &MACFrame{Type: FrameAck, Seq: seq}
+}
+
+// NewAssociationRequest builds the MAC command a device sends to join a
+// PAN. capability is the capability-information bitmap of the standard
+// (0x8e: allocate address, mains powered, RX on when idle).
+func NewAssociationRequest(seq uint8, pan, coordAddr uint16, capability byte) *MACFrame {
+	return &MACFrame{
+		Type:       FrameCommand,
+		AckRequest: true,
+		Seq:        seq,
+		DestMode:   AddrShort,
+		DestPAN:    pan,
+		DestAddr:   coordAddr,
+		SrcMode:    AddrShort,
+		SrcPAN:     BroadcastPAN,
+		SrcAddr:    NoShortAddress, // not yet associated
+		Payload:    []byte{byte(CmdAssociationRequest), capability},
+	}
+}
+
+// NewAssociationResponse builds the coordinator's reply assigning a
+// short address (0xFFFF with a non-success status).
+func NewAssociationResponse(seq uint8, pan, dest uint16, assigned uint16, status byte) *MACFrame {
+	payload := []byte{byte(CmdAssociationResponse), byte(assigned), byte(assigned >> 8), status}
+	return &MACFrame{
+		Type:           FrameCommand,
+		PANCompression: true,
+		Seq:            seq,
+		DestMode:       AddrShort,
+		DestPAN:        pan,
+		DestAddr:       dest,
+		SrcMode:        AddrShort,
+		SrcPAN:         pan,
+		SrcAddr:        0x0000, // coordinator role address in responses
+		Payload:        payload,
+	}
+}
+
+// ParseAssociationResponse extracts the assigned address and status from
+// an association response payload.
+func ParseAssociationResponse(payload []byte) (assigned uint16, status byte, err error) {
+	if len(payload) != 4 || CommandID(payload[0]) != CmdAssociationResponse {
+		return 0, 0, fmt.Errorf("ieee802154: not an association response")
+	}
+	return uint16(payload[1]) | uint16(payload[2])<<8, payload[3], nil
+}

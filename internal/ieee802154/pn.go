@@ -1,0 +1,99 @@
+// Package ieee802154 implements the IEEE 802.15.4 O-QPSK physical layer in
+// the 2.4 GHz ISM band (the PHY Zigbee runs on) plus the MAC framing needed
+// by the attack scenarios: DSSS spreading with the 16 PN sequences, O-QPSK
+// modulation with half-sine pulse shaping, a noncoherent MSK-approximation
+// demodulator, PPDU framing and MAC frame encode/decode.
+package ieee802154
+
+import (
+	"fmt"
+
+	"wazabee/internal/bitstream"
+)
+
+// ChipsPerSymbol is the DSSS spreading factor: each 4-bit symbol is
+// replaced by a 32-chip pseudo-random noise sequence.
+const ChipsPerSymbol = 32
+
+// SymbolsPerByte is the number of 4-bit symbols per octet (low nibble is
+// transmitted first).
+const SymbolsPerByte = 2
+
+// pnTable is Table I of the paper (identical to IEEE 802.15.4-2015 Table
+// 12-1): row k is the chip sequence c0..c31 for data symbol k. The row
+// labels in the paper are written b0b1b2b3, i.e. least significant bit
+// first, so the rows below are in symbol order 0..15.
+var pnTable = mustParsePNTable([...]string{
+	"11011001 11000011 01010010 00101110", // 0  (0000)
+	"11101101 10011100 00110101 00100010", // 1  (1000)
+	"00101110 11011001 11000011 01010010", // 2  (0100)
+	"00100010 11101101 10011100 00110101", // 3  (1100)
+	"01010010 00101110 11011001 11000011", // 4  (0010)
+	"00110101 00100010 11101101 10011100", // 5  (1010)
+	"11000011 01010010 00101110 11011001", // 6  (0110)
+	"10011100 00110101 00100010 11101101", // 7  (1110)
+	"10001100 10010110 00000111 01111011", // 8  (0001)
+	"10111000 11001001 01100000 01110111", // 9  (1001)
+	"01111011 10001100 10010110 00000111", // 10 (0101)
+	"01110111 10111000 11001001 01100000", // 11 (1101)
+	"00000111 01111011 10001100 10010110", // 12 (0011)
+	"01100000 01110111 10111000 11001001", // 13 (1011)
+	"10010110 00000111 01111011 10001100", // 14 (0111)
+	"11001001 01100000 01110111 10111000", // 15 (1111)
+})
+
+func mustParsePNTable(rows [16]string) [16]bitstream.Bits {
+	var table [16]bitstream.Bits
+	for i, row := range rows {
+		bits, err := bitstream.ParseBits(row)
+		if err != nil {
+			panic(fmt.Sprintf("ieee802154: bad PN table row %d: %v", i, err))
+		}
+		if len(bits) != ChipsPerSymbol {
+			panic(fmt.Sprintf("ieee802154: PN row %d has %d chips", i, len(bits)))
+		}
+		table[i] = bits
+	}
+	return table
+}
+
+// PNSequence returns the 32-chip spreading sequence for a data symbol
+// (0..15). The returned slice is a copy and safe to modify.
+func PNSequence(symbol int) (bitstream.Bits, error) {
+	if symbol < 0 || symbol > 15 {
+		return nil, fmt.Errorf("ieee802154: symbol %d out of range [0,15]", symbol)
+	}
+	return bitstream.Clone(pnTable[symbol]), nil
+}
+
+// PNSequences returns a copy of the whole correspondence table (Table I),
+// indexed by symbol value.
+func PNSequences() [16]bitstream.Bits {
+	var out [16]bitstream.Bits
+	for i := range pnTable {
+		out[i] = bitstream.Clone(pnTable[i])
+	}
+	return out
+}
+
+// ClosestSymbol returns the data symbol whose PN sequence has the smallest
+// Hamming distance to the received 32-chip block, along with that distance.
+// This is the standard despreading decision; soft-decision variants do not
+// change the behaviour reproduced here.
+func ClosestSymbol(chips bitstream.Bits) (symbol, distance int, err error) {
+	if len(chips) != ChipsPerSymbol {
+		return 0, 0, fmt.Errorf("ieee802154: chip block length %d, want %d", len(chips), ChipsPerSymbol)
+	}
+	bestSym, bestDist := 0, ChipsPerSymbol+1
+	for s := 0; s < 16; s++ {
+		d, derr := bitstream.HammingDistance(chips, pnTable[s])
+		if derr != nil {
+			return 0, 0, derr
+		}
+		if d < bestDist {
+			bestDist = d
+			bestSym = s
+		}
+	}
+	return bestSym, bestDist, nil
+}

@@ -1,0 +1,239 @@
+package ieee802154
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wazabee/internal/bitstream"
+)
+
+func TestPNSequenceTableI(t *testing.T) {
+	// Spot-check rows of Table I against the paper text.
+	tests := []struct {
+		symbol int
+		want   string
+	}{
+		{symbol: 0, want: "11011001110000110101001000101110"},
+		{symbol: 1, want: "11101101100111000011010100100010"},
+		{symbol: 8, want: "10001100100101100000011101111011"},
+		{symbol: 15, want: "11001001011000000111011110111000"},
+	}
+	for _, tt := range tests {
+		got, err := PNSequence(tt.symbol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != tt.want {
+			t.Errorf("PN[%d] = %s, want %s", tt.symbol, got, tt.want)
+		}
+	}
+}
+
+func TestPNSequenceRange(t *testing.T) {
+	if _, err := PNSequence(-1); err == nil {
+		t.Error("expected error for symbol -1")
+	}
+	if _, err := PNSequence(16); err == nil {
+		t.Error("expected error for symbol 16")
+	}
+}
+
+func TestPNCyclicShiftStructure(t *testing.T) {
+	// IEEE 802.15.4 structure: PN[k] for k=1..7 is PN[0] cyclically
+	// rotated right by 4k chips.
+	base := pnTable[0]
+	for k := 1; k <= 7; k++ {
+		shift := (4 * k) % ChipsPerSymbol
+		want := make(bitstream.Bits, ChipsPerSymbol)
+		for i := 0; i < ChipsPerSymbol; i++ {
+			want[(i+shift)%ChipsPerSymbol] = base[i]
+		}
+		if pnTable[k].String() != want.String() {
+			t.Errorf("PN[%d] is not PN[0] rotated right by %d chips", k, shift)
+		}
+	}
+}
+
+func TestPNConjugateStructure(t *testing.T) {
+	// PN[k+8] equals PN[k] with every odd-indexed chip inverted (the
+	// "conjugate" sequences of the standard).
+	for k := 0; k < 8; k++ {
+		want := bitstream.Clone(pnTable[k])
+		for i := 1; i < ChipsPerSymbol; i += 2 {
+			want[i] ^= 1
+		}
+		if pnTable[k+8].String() != want.String() {
+			t.Errorf("PN[%d] is not the odd-chip conjugate of PN[%d]", k+8, k)
+		}
+	}
+}
+
+func TestPNPairwiseDistance(t *testing.T) {
+	// The sequences are quasi-orthogonal: any two differ in at least 12
+	// chip positions, which is what makes Hamming decoding work.
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			d, err := bitstream.HammingDistance(pnTable[a], pnTable[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < 12 {
+				t.Errorf("PN[%d] vs PN[%d] Hamming distance %d < 12", a, b, d)
+			}
+		}
+	}
+}
+
+func TestPNSequencesReturnsCopies(t *testing.T) {
+	seqs := PNSequences()
+	seqs[0][0] ^= 1
+	fresh, _ := PNSequence(0)
+	if fresh[0] == seqs[0][0] {
+		t.Error("PNSequences exposes internal table storage")
+	}
+}
+
+func TestClosestSymbolExact(t *testing.T) {
+	for s := 0; s < 16; s++ {
+		got, d, err := ClosestSymbol(pnTable[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s || d != 0 {
+			t.Errorf("ClosestSymbol(PN[%d]) = (%d,%d), want (%d,0)", s, got, d, s)
+		}
+	}
+}
+
+func TestClosestSymbolErrorCorrection(t *testing.T) {
+	// Up to 5 chip errors (< half the minimum distance 12) must always
+	// decode to the original symbol.
+	for s := 0; s < 16; s++ {
+		chips := bitstream.Clone(pnTable[s])
+		for i := 0; i < 5; i++ {
+			chips[(s*7+i*3)%ChipsPerSymbol] ^= 1
+		}
+		got, d, err := ClosestSymbol(chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("symbol %d with 5 chip errors decoded as %d", s, got)
+		}
+		if d != 5 {
+			t.Errorf("distance = %d, want 5", d)
+		}
+	}
+}
+
+func TestClosestSymbolLength(t *testing.T) {
+	if _, _, err := ClosestSymbol(make(bitstream.Bits, 31)); err == nil {
+		t.Error("expected error for short chip block")
+	}
+}
+
+func TestSpreadDespreadRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, worst, err := Despread(Spread(data))
+		if err != nil || worst != 0 {
+			return false
+		}
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadNibbleOrder(t *testing.T) {
+	chips := Spread([]byte{0x8f})
+	// Low nibble 0xf is spread first.
+	if chips[:ChipsPerSymbol].String() != pnTable[0x0f].String() {
+		t.Error("low nibble not spread first")
+	}
+	if chips[ChipsPerSymbol:].String() != pnTable[0x08].String() {
+		t.Error("high nibble not spread second")
+	}
+}
+
+func TestSpreadSymbols(t *testing.T) {
+	chips, err := SpreadSymbols([]byte{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != 2*ChipsPerSymbol {
+		t.Fatalf("chip count = %d", len(chips))
+	}
+	if _, err := SpreadSymbols([]byte{16}); err == nil {
+		t.Error("expected error for out-of-range symbol")
+	}
+}
+
+func TestDespreadLengthValidation(t *testing.T) {
+	if _, _, err := Despread(make(bitstream.Bits, 63)); err == nil {
+		t.Error("expected error for partial chip stream")
+	}
+}
+
+func TestChipTransitionsClosedForm(t *testing.T) {
+	// Hand-computed transitions for PN[0] (see the derivation in
+	// spread.go): chips 1101 1001 1100 0011 ... give transitions
+	// beginning 1 1 0 0 0 0 0 0 1 1 1.
+	trans := ChipTransitions(pnTable[0])
+	if len(trans) != 31 {
+		t.Fatalf("transition count = %d, want 31", len(trans))
+	}
+	wantPrefix := "11000000111"
+	if got := trans[:11].String(); got != wantPrefix {
+		t.Errorf("transitions prefix = %s, want %s", got, wantPrefix)
+	}
+}
+
+func TestChipTransitionsShortInput(t *testing.T) {
+	if ChipTransitions(bitstream.Bits{1}) != nil {
+		t.Error("single chip should produce no transitions")
+	}
+	if ChipTransitions(nil) != nil {
+		t.Error("empty chip stream should produce no transitions")
+	}
+}
+
+func TestTransitionAlphabetDistinct(t *testing.T) {
+	// All 16 MSK-encoded PN sequences must be pairwise distinct with
+	// healthy Hamming separation, otherwise the WazaBee receiver could
+	// not tell symbols apart.
+	alpha := TransitionAlphabet()
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			d, err := bitstream.HammingDistance(alpha[a], alpha[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < 8 {
+				t.Errorf("MSK alphabet %d vs %d distance %d < 8", a, b, d)
+			}
+		}
+	}
+}
+
+func TestTransitionAlphabetMatchesTable(t *testing.T) {
+	alpha := TransitionAlphabet()
+	for s := 0; s < 16; s++ {
+		if alpha[s].String() != ChipTransitions(pnTable[s]).String() {
+			t.Errorf("cached transition row %d out of date", s)
+		}
+	}
+	// Returned rows must be copies.
+	alpha[3][0] ^= 1
+	if transitionTable[3][0] == alpha[3][0] {
+		t.Error("TransitionAlphabet exposes internal storage")
+	}
+}

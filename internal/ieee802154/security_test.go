@@ -1,0 +1,169 @@
+package ieee802154
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	testKey   = []byte{0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xcb, 0xcc, 0xcd, 0xce, 0xcf}
+	testNonce = Nonce(0x00124b000001e2f3, 42, SecEncMIC32)
+)
+
+func TestSecurityLevelProperties(t *testing.T) {
+	tests := []struct {
+		level     SecurityLevel
+		mic       int
+		encrypted bool
+	}{
+		{SecNone, 0, false},
+		{SecMIC32, 4, false},
+		{SecMIC64, 8, false},
+		{SecMIC128, 16, false},
+		{SecEncMIC32, 4, true},
+		{SecEncMIC64, 8, true},
+		{SecEncMIC128, 16, true},
+	}
+	for _, tt := range tests {
+		if got := tt.level.MICLength(); got != tt.mic {
+			t.Errorf("level %d MIC length = %d, want %d", tt.level, got, tt.mic)
+		}
+		if got := tt.level.Encrypted(); got != tt.encrypted {
+			t.Errorf("level %d encrypted = %v, want %v", tt.level, got, tt.encrypted)
+		}
+	}
+}
+
+func TestNonceLayout(t *testing.T) {
+	n := Nonce(0x0102030405060708, 0x0a0b0c0d, SecEncMIC64)
+	want := [13]byte{1, 2, 3, 4, 5, 6, 7, 8, 0x0a, 0x0b, 0x0c, 0x0d, byte(SecEncMIC64)}
+	if n != want {
+		t.Errorf("nonce = % x, want % x", n, want)
+	}
+}
+
+func TestSecureOpenRoundTripAllLevels(t *testing.T) {
+	header := []byte{0x61, 0x88, 0x05, 0x34, 0x12}
+	payload := []byte("temperature=23")
+	for _, level := range []SecurityLevel{SecNone, SecMIC32, SecMIC64, SecMIC128, SecEncMIC32, SecEncMIC64, SecEncMIC128} {
+		nonce := Nonce(0xdead, 7, level)
+		secured, err := SecureFrame(testKey, nonce, level, header, payload)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if wantLen := len(payload) + level.MICLength(); len(secured) != wantLen {
+			t.Errorf("level %d: secured length %d, want %d", level, len(secured), wantLen)
+		}
+		opened, err := OpenFrame(testKey, nonce, level, header, secured)
+		if err != nil {
+			t.Fatalf("level %d: open: %v", level, err)
+		}
+		if !bytes.Equal(opened, payload) {
+			t.Errorf("level %d: payload mismatch", level)
+		}
+	}
+}
+
+func TestEncryptionActuallyEncrypts(t *testing.T) {
+	payload := []byte("secret reading!!")
+	secured, err := SecureFrame(testKey, testNonce, SecEncMIC32, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(secured, payload[:8]) {
+		t.Error("encrypted payload contains plaintext")
+	}
+	// Authentication-only levels transmit the payload in clear.
+	authOnly, err := SecureFrame(testKey, testNonce, SecMIC32, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(authOnly, payload) {
+		t.Error("MIC-only payload is not cleartext")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	header := []byte{0x61, 0x88}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	secured, err := SecureFrame(testKey, testNonce, SecEncMIC64, header, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range secured {
+		bad := append([]byte{}, secured...)
+		bad[i] ^= 0x80
+		if _, err := OpenFrame(testKey, testNonce, SecEncMIC64, header, bad); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("tampered byte %d accepted (err=%v)", i, err)
+		}
+	}
+	// Tampering with the authenticated header also fails.
+	badHeader := append([]byte{}, header...)
+	badHeader[0] ^= 1
+	if _, err := OpenFrame(testKey, testNonce, SecEncMIC64, badHeader, secured); !errors.Is(err, ErrAuthFailed) {
+		t.Error("tampered header accepted")
+	}
+}
+
+func TestOpenRejectsWrongKeyAndNonce(t *testing.T) {
+	payload := []byte{9, 9, 9}
+	secured, err := SecureFrame(testKey, testNonce, SecEncMIC32, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey := append([]byte{}, testKey...)
+	wrongKey[0] ^= 1
+	if _, err := OpenFrame(wrongKey, testNonce, SecEncMIC32, nil, secured); !errors.Is(err, ErrAuthFailed) {
+		t.Error("wrong key accepted")
+	}
+	// A replayed frame counter produces a different nonce and fails —
+	// the replay-protection property.
+	otherNonce := Nonce(0x00124b000001e2f3, 43, SecEncMIC32)
+	if _, err := OpenFrame(testKey, otherNonce, SecEncMIC32, nil, secured); !errors.Is(err, ErrAuthFailed) {
+		t.Error("wrong frame counter accepted")
+	}
+}
+
+func TestSecureFrameErrors(t *testing.T) {
+	if _, err := SecureFrame([]byte{1, 2, 3}, testNonce, SecEncMIC32, nil, []byte{1}); err == nil {
+		t.Error("expected error for short key")
+	}
+	if _, err := OpenFrame([]byte{1, 2, 3}, testNonce, SecEncMIC32, nil, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("expected error for short key on open")
+	}
+	if _, err := OpenFrame(testKey, testNonce, SecEncMIC32, nil, []byte{1}); err == nil {
+		t.Error("expected error for payload shorter than MIC")
+	}
+}
+
+func TestSecureOpenProperty(t *testing.T) {
+	f := func(header, payload []byte, counter uint32) bool {
+		nonce := Nonce(0xfeed, counter, SecEncMIC64)
+		secured, err := SecureFrame(testKey, nonce, SecEncMIC64, header, payload)
+		if err != nil {
+			return false
+		}
+		opened, err := OpenFrame(testKey, nonce, SecEncMIC64, header, secured)
+		return err == nil && bytes.Equal(opened, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCiphertextDiffersAcrossCounters(t *testing.T) {
+	payload := []byte("same plaintext each time")
+	a, err := SecureFrame(testKey, Nonce(1, 1, SecEncMIC32), SecEncMIC32, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SecureFrame(testKey, Nonce(1, 2, SecEncMIC32), SecEncMIC32, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("different frame counters produced identical ciphertexts")
+	}
+}

@@ -1,0 +1,187 @@
+package modsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/ble"
+	"wazabee/internal/dsp"
+)
+
+const testSPS = 8
+
+func survey(t *testing.T) map[string]float64 {
+	t.Helper()
+	scores, err := SurveyAgainstOQPSK(testSPS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(scores))
+	for _, s := range scores {
+		out[s.Emulator] = s.Score
+	}
+	return out
+}
+
+func TestSurveyScoresInUnitInterval(t *testing.T) {
+	for name, score := range survey(t) {
+		if score < 0 || score > 1 {
+			t.Errorf("%s score %g outside [0,1]", name, score)
+		}
+	}
+}
+
+func TestWazaBeePairScoresHigh(t *testing.T) {
+	s := survey(t)
+	// The paper's premise: ideal MSK at 2 Mbit/s is (nearly) the
+	// O-QPSK half-sine waveform, and the BLE Gaussian filter costs only
+	// part of the margin.
+	if s["MSK 2M (ideal)"] < 0.9 {
+		t.Errorf("MSK/O-QPSK similarity = %.3f, want ≥ 0.9", s["MSK 2M (ideal)"])
+	}
+	if s["BLE LE 2M GFSK (m=0.5, BT=0.5)"] < 0.6 {
+		t.Errorf("BLE LE 2M similarity = %.3f, want ≥ 0.6 (pivotable)", s["BLE LE 2M GFSK (m=0.5, BT=0.5)"])
+	}
+}
+
+func TestToleranceBandRemainsPivotable(t *testing.T) {
+	s := survey(t)
+	for _, name := range []string{"BLE LE 2M GFSK (m=0.45)", "BLE LE 2M GFSK (m=0.55)"} {
+		if s[name] < 0.55 {
+			t.Errorf("%s similarity = %.3f, want ≥ 0.55", name, s[name])
+		}
+	}
+}
+
+func TestMismatchedModulationsScoreLow(t *testing.T) {
+	s := survey(t)
+	ble2m := s["BLE LE 2M GFSK (m=0.5, BT=0.5)"]
+	for _, name := range []string{
+		"GFSK m=0.25 (half deviation)",
+		"GFSK m=1.0 (double deviation)",
+		"BLE LE 1M GFSK (rate mismatch)",
+	} {
+		if s[name] >= ble2m {
+			t.Errorf("%s (%.3f) should score below BLE LE 2M (%.3f)", name, s[name], ble2m)
+		}
+	}
+	// The data-rate requirement of section IV-D: LE 1M is the worst of
+	// the GFSK family.
+	if s["BLE LE 1M GFSK (rate mismatch)"] > 0.4 {
+		t.Errorf("LE 1M similarity = %.3f, want ≤ 0.4", s["BLE LE 1M GFSK (rate mismatch)"])
+	}
+}
+
+func TestHalfDeviationHalvesMargin(t *testing.T) {
+	s := survey(t)
+	// m = 0.25 transmits ±π/4 per symbol against a ±π/2 target: the
+	// per-symbol error is π/4, i.e. half the decision quantum, so the
+	// metric should sit near 0.5 (before shaping losses).
+	got := s["GFSK m=0.25 (half deviation)"]
+	if got < 0.3 || got > 0.6 {
+		t.Errorf("half-deviation similarity = %.3f, want ≈ 0.4-0.5", got)
+	}
+}
+
+func TestSimilarityDeterministic(t *testing.T) {
+	tgt, err := OQPSKTarget(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := GFSKEmulator("ble", ble.LE2M, testSPS, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Similarity(em, tgt, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Similarity(em, tgt, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave %g and %g", a, b)
+	}
+}
+
+func TestSimilarityValidation(t *testing.T) {
+	tgt, err := OQPSKTarget(testSPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := GFSKEmulator("ble", ble.LE2M, testSPS, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(1))
+
+	bad := em
+	bad.SymbolPeriod = 0
+	if _, err := Similarity(bad, tgt, rnd); err == nil {
+		t.Error("expected error for zero symbol period")
+	}
+	bad = em
+	bad.Modulate = nil
+	if _, err := Similarity(bad, tgt, rnd); err == nil {
+		t.Error("expected error for nil modulator")
+	}
+	if _, err := Similarity(em, Target{SymbolPeriod: testSPS}, rnd); err == nil {
+		t.Error("expected error for nil waveform source")
+	}
+	if _, err := Similarity(em, tgt, nil); err == nil {
+		t.Error("expected error for nil random source")
+	}
+	tiny := tgt
+	tiny.Waveform = func(*rand.Rand) (dsp.IQ, error) { return make(dsp.IQ, 2), nil }
+	if _, err := Similarity(em, tiny, rnd); err == nil {
+		t.Error("expected error for too-short target burst")
+	}
+}
+
+func TestGFSKEmulatorValidation(t *testing.T) {
+	if _, err := GFSKEmulator("x", ble.Mode(0), testSPS, 0.5, 0.5); err == nil {
+		t.Error("expected error for invalid mode")
+	}
+}
+
+func TestTrackingScoreEdgeCases(t *testing.T) {
+	if s := trackingScore(nil, nil); s != 0 {
+		t.Errorf("empty tracking score = %g, want 0", s)
+	}
+	same := []float64{1.5, -1.5, 1.5}
+	if s := trackingScore(same, same); s != 1 {
+		t.Errorf("identical tracking score = %g, want 1", s)
+	}
+	far := []float64{9, 9, 9}
+	if s := trackingScore(far, []float64{-9, -9, -9}); s != 0 {
+		t.Errorf("hopeless tracking score = %g, want 0 (floored)", s)
+	}
+}
+
+// TestSelfSimilarity: every modulation should emulate itself (near)
+// perfectly — a sanity check on the metric.
+func TestSelfSimilarity(t *testing.T) {
+	phy, err := ble.NewPHYWithShaping(ble.LE2M, testSPS, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := Emulator{Name: "msk", SymbolPeriod: testSPS, Modulate: phy.ModulateBits}
+	tgt := Target{
+		Name:         "msk",
+		SymbolPeriod: testSPS,
+		Waveform: func(rnd *rand.Rand) (dsp.IQ, error) {
+			payload := make([]byte, 32)
+			rnd.Read(payload)
+			return phy.ModulateBits(bitstream.BytesToBits(payload))
+		},
+	}
+	score, err := Similarity(em, tgt, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.95 {
+		t.Errorf("self-similarity = %.3f, want ≥ 0.95", score)
+	}
+}

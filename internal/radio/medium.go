@@ -1,0 +1,119 @@
+// Package radio simulates the shared 2.4 GHz medium between the radios of
+// the experiments: per-link signal-to-noise ratio, carrier frequency
+// offset between crystals, random burst timing, channel selectivity and
+// co-channel WiFi interference. It stands in for the over-the-air path of
+// the paper's test bench (transmitter and receiver 3 m apart in an office
+// with live WiFi on channels 6 and 11).
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wazabee/internal/dsp"
+)
+
+// Link describes the propagation between one transmitter and one receiver.
+type Link struct {
+	// SNRdB is the signal-to-noise ratio at the receiver input.
+	SNRdB float64
+	// CFOHz is the carrier frequency offset between the two radios'
+	// crystals.
+	CFOHz float64
+	// LeadSamples and LagSamples bound the random noise-only padding
+	// around the burst (receiver opens its window before the frame).
+	LeadSamples, LagSamples int
+	// InterferenceRejectionDB attenuates co-channel interference at the
+	// receiver, modelling its blocking/selectivity performance — the
+	// analog quality that separates receivers under a busy WiFi band.
+	InterferenceRejectionDB float64
+}
+
+// Medium is a deterministic radio channel simulator.
+type Medium struct {
+	// SampleRateHz is the complex-baseband sample rate shared by all
+	// attached modems.
+	SampleRateHz float64
+
+	rnd         *rand.Rand
+	interferers []WiFiInterferer
+}
+
+// NewMedium builds a medium with the given sample rate and seed. All
+// randomness (noise, burst timing, interference) flows from the seed, so
+// experiments reproduce exactly.
+func NewMedium(sampleRateHz float64, seed int64) (*Medium, error) {
+	if sampleRateHz <= 0 {
+		return nil, fmt.Errorf("radio: sample rate %g <= 0", sampleRateHz)
+	}
+	return &Medium{
+		SampleRateHz: sampleRateHz,
+		rnd:          rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// AddWiFi attaches a WiFi interferer to the medium.
+func (m *Medium) AddWiFi(w WiFiInterferer) {
+	m.interferers = append(m.interferers, w)
+}
+
+// Rand exposes the medium's random source so callers sequencing several
+// deliveries share one deterministic stream.
+func (m *Medium) Rand() *rand.Rand {
+	return m.rnd
+}
+
+// Deliver propagates a burst transmitted at txFreqMHz to a receiver tuned
+// to rxFreqMHz and returns the waveform at the receiver's ADC. A
+// transmission more than one channel-width away returns pure noise (the
+// receiver hears nothing); a co-channel transmission is delayed by a
+// random intra-window offset, frequency-shifted by the residual CFO,
+// degraded by AWGN at the link SNR and overlaid with any interference
+// bursts active on that frequency.
+func (m *Medium) Deliver(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (dsp.IQ, error) {
+	if len(sig) == 0 {
+		return nil, fmt.Errorf("radio: empty transmission")
+	}
+	lead := link.LeadSamples
+	lag := link.LagSamples
+	if lead < 0 || lag < 0 {
+		return nil, fmt.Errorf("radio: negative padding")
+	}
+
+	sep := txFreqMHz - rxFreqMHz
+	if sep < 0 {
+		sep = -sep
+	}
+
+	noisePower := sig.Power() / math.Pow(10, link.SNRdB/10)
+	out, err := dsp.NoiseFloor(lead+len(sig)+lag, noisePower, m.rnd)
+	if err != nil {
+		return nil, err
+	}
+
+	if sep < 2 {
+		// Co- or adjacent-channel: the burst reaches the receiver.
+		// Adjacent-channel energy is attenuated by the receive
+		// filter; in-channel passes at full power.
+		burst := sig.Clone()
+		if link.CFOHz != 0 {
+			burst.MixFrequency(link.CFOHz / m.SampleRateHz)
+		}
+		if sep >= 1 {
+			burst.Scale(0.1) // strong adjacent-channel rejection
+		}
+		offset := lead
+		if lead > 0 {
+			offset = m.rnd.Intn(lead + 1)
+		}
+		out.Add(burst, offset)
+	}
+
+	for _, w := range m.interferers {
+		if err := w.apply(out, rxFreqMHz, link.InterferenceRejectionDB, m); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Free-space link-budget helpers: the paper specifies its geometry ("a
+// distance of 3 meters") rather than an SNR; these convert one into the
+// other so experiment configurations can be written in physical terms.
+
+// FreeSpacePathLossDB returns the free-space path loss in dB between
+// isotropic antennas at distanceM metres and freqMHz:
+// 20·log10(d) + 20·log10(f) − 27.55 (d in m, f in MHz).
+func FreeSpacePathLossDB(distanceM, freqMHz float64) (float64, error) {
+	if distanceM <= 0 {
+		return 0, fmt.Errorf("radio: non-positive distance %g m", distanceM)
+	}
+	if freqMHz <= 0 {
+		return 0, fmt.Errorf("radio: non-positive frequency %g MHz", freqMHz)
+	}
+	return 20*math.Log10(distanceM) + 20*math.Log10(freqMHz) - 27.55, nil
+}
+
+// LinkBudget describes one radio hop in physical terms.
+type LinkBudget struct {
+	// TxPowerDBm is the transmit power (0 dBm is typical for BLE and
+	// 802.15.4 nodes).
+	TxPowerDBm float64
+	// DistanceM separates transmitter and receiver.
+	DistanceM float64
+	// FreqMHz is the carrier frequency.
+	FreqMHz float64
+	// NoiseFloorDBm is the receiver's in-channel noise floor; −111 dBm
+	// is thermal noise over 2 MHz plus a few dB of implementation
+	// margin.
+	NoiseFloorDBm float64
+}
+
+// DefaultLinkBudget models the paper's bench: 0 dBm transmitters 3 m
+// apart in the 2.4 GHz band.
+func DefaultLinkBudget(freqMHz float64) LinkBudget {
+	return LinkBudget{
+		TxPowerDBm:    0,
+		DistanceM:     3,
+		FreqMHz:       freqMHz,
+		NoiseFloorDBm: -111,
+	}
+}
+
+// SNRdB computes the link signal-to-noise ratio.
+func (b LinkBudget) SNRdB() (float64, error) {
+	loss, err := FreeSpacePathLossDB(b.DistanceM, b.FreqMHz)
+	if err != nil {
+		return 0, err
+	}
+	return b.TxPowerDBm - loss - b.NoiseFloorDBm, nil
+}
+
+// MaxRangeM returns the farthest distance at which the link still
+// reaches the given SNR — how far the WazaBee attacker can sit from its
+// victim.
+func (b LinkBudget) MaxRangeM(minSNRdB float64) (float64, error) {
+	if b.FreqMHz <= 0 {
+		return 0, fmt.Errorf("radio: non-positive frequency %g MHz", b.FreqMHz)
+	}
+	// Solve TxPower − FSPL(d) − NoiseFloor = minSNR for d.
+	lossBudget := b.TxPowerDBm - b.NoiseFloorDBm - minSNRdB
+	exp := (lossBudget + 27.55 - 20*math.Log10(b.FreqMHz)) / 20
+	return math.Pow(10, exp), nil
+}

@@ -1,0 +1,73 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFreeSpacePathLoss(t *testing.T) {
+	// Classic sanity value: 2.4 GHz at 1 m ≈ 40 dB.
+	loss, err := FreeSpacePathLossDB(1, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-40.05) > 0.2 {
+		t.Errorf("FSPL(1 m, 2400 MHz) = %.2f dB, want ≈ 40", loss)
+	}
+	// Doubling distance adds 6 dB.
+	loss2, err := FreeSpacePathLossDB(2, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss2-loss-6.02) > 0.1 {
+		t.Errorf("doubling distance added %.2f dB, want ≈ 6", loss2-loss)
+	}
+	if _, err := FreeSpacePathLossDB(0, 2400); err == nil {
+		t.Error("expected error for zero distance")
+	}
+	if _, err := FreeSpacePathLossDB(1, 0); err == nil {
+		t.Error("expected error for zero frequency")
+	}
+}
+
+func TestDefaultLinkBudgetIsComfortable(t *testing.T) {
+	// The paper's 3 m bench leaves an enormous SNR margin — which is
+	// why Table III is near-perfect away from WiFi.
+	b := DefaultLinkBudget(2420)
+	snr, err := b.SNRdB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 50 {
+		t.Errorf("3 m link SNR = %.1f dB, expected a very comfortable margin", snr)
+	}
+}
+
+func TestMaxRangeRoundTrip(t *testing.T) {
+	b := DefaultLinkBudget(2420)
+	// The attack keeps working down to the ~6 dB sensitivity knee; the
+	// corresponding range is the attacker's operating radius.
+	r, err := b.MaxRangeM(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 100 {
+		t.Errorf("range at 6 dB = %.0f m, expected beyond 100 m in free space", r)
+	}
+	// Consistency: the SNR at MaxRange equals the requested SNR.
+	b.DistanceM = r
+	snr, err := b.SNRdB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(snr-6) > 0.01 {
+		t.Errorf("SNR at computed range = %.3f dB, want 6", snr)
+	}
+	b.FreqMHz = 0
+	if _, err := b.MaxRangeM(6); err == nil {
+		t.Error("expected error for zero frequency")
+	}
+	if _, err := b.SNRdB(); err == nil {
+		t.Error("expected error from SNRdB with zero frequency")
+	}
+}

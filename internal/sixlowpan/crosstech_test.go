@@ -1,0 +1,101 @@
+package sixlowpan_test
+
+import (
+	"bytes"
+	"testing"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/chip"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/radio"
+	"wazabee/internal/sixlowpan"
+)
+
+// TestWazaBeeInjectsSixlowpanDatagram demonstrates the paper's
+// generality claim: "our approach is compliant with all 802.15.4
+// frames". A diverted BLE chip injects a compressed 6LoWPAN UDP
+// datagram into a Thread-style network, and the legitimate node
+// decompresses the original datagram.
+func TestWazaBeeInjectsSixlowpanDatagram(t *testing.T) {
+	const (
+		pan      = 0xface
+		attacker = 0x0b0b
+		victim   = 0x0001
+		channel  = 20
+		sps      = 8
+	)
+
+	// The datagram: a CoAP-style UDP payload to the victim's
+	// link-local address.
+	ip := &sixlowpan.IPv6Header{
+		NextHeader: sixlowpan.ProtoUDP,
+		HopLimit:   64,
+		Src:        sixlowpan.LinkLocalFromShort(pan, attacker),
+		Dst:        sixlowpan.LinkLocalFromShort(pan, victim),
+	}
+	udp := &sixlowpan.UDPHeader{SrcPort: 5683, DstPort: 5683}
+	appPayload := []byte("PUT /light?on=1")
+	datagram, err := sixlowpan.Compress(pan, attacker, victim, ip, udp, appPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrap in an 802.15.4 MAC frame and transmit with the WazaBee
+	// primitive over the simulated air.
+	macPayload := datagram
+	frame := ieee802154.NewDataFrame(1, pan, victim, attacker, macPayload, false)
+	psdu, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := chip.NRF52832().NewWazaBeeTransmitter(sps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := tx.ModulatePSDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium, err := radio.NewMedium(float64(sps)*ieee802154.ChipRate, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := ieee802154.ChannelFrequencyMHz(channel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := medium.Deliver(sig, freq, freq, radio.Link{SNRdB: 15, LeadSamples: 200, LagSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legitimate Thread-style node receives and decompresses.
+	phy, err := chip.RZUSBStick().NewZigbeePHY(sps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem, err := phy.Demodulate(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitstream.CheckFCS(dem.PPDU.PSDU) {
+		t.Fatal("FCS failed")
+	}
+	rxFrame, err := ieee802154.ParseMACFrame(dem.PPDU.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIP, gotUDP, gotPayload, err := sixlowpan.Decompress(pan, rxFrame.SrcAddr, rxFrame.DestAddr, rxFrame.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIP.Dst != ip.Dst || gotIP.HopLimit != 64 {
+		t.Errorf("IP header = %+v", gotIP)
+	}
+	if gotUDP == nil || gotUDP.DstPort != 5683 {
+		t.Errorf("UDP header = %+v", gotUDP)
+	}
+	if !bytes.Equal(gotPayload, appPayload) {
+		t.Errorf("application payload = %q, want %q", gotPayload, appPayload)
+	}
+}

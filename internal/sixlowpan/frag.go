@@ -1,0 +1,158 @@
+package sixlowpan
+
+// RFC 4944 fragmentation: IPv6 requires a 1280-byte MTU while an
+// 802.15.4 frame carries at most 127 bytes, so 6LoWPAN splits datagrams
+// into a FRAG1 header fragment and FRAGN continuation fragments keyed by
+// a 16-bit datagram tag.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Fragment dispatch prefixes (top 5 bits).
+const (
+	frag1Dispatch = 0xc0 // 11000
+	fragNDispatch = 0xe0 // 11100
+)
+
+// MaxDatagramSize is the largest datagram the 11-bit size field carries.
+const MaxDatagramSize = 2047
+
+// Fragment splits a datagram into link-layer payloads no longer than
+// maxFragment bytes each (headers included). Datagrams that already fit
+// are returned unfragmented as a single payload.
+func Fragment(datagram []byte, tag uint16, maxFragment int) ([][]byte, error) {
+	if len(datagram) == 0 {
+		return nil, fmt.Errorf("sixlowpan: empty datagram")
+	}
+	if len(datagram) > MaxDatagramSize {
+		return nil, fmt.Errorf("sixlowpan: datagram length %d exceeds %d", len(datagram), MaxDatagramSize)
+	}
+	if len(datagram) <= maxFragment {
+		return [][]byte{append([]byte{}, datagram...)}, nil
+	}
+	if maxFragment < 16 {
+		return nil, fmt.Errorf("sixlowpan: fragment size %d too small", maxFragment)
+	}
+
+	size := uint16(len(datagram))
+	// FRAG1 carries 4 header bytes; FRAGN carries 5. Offsets count in
+	// 8-byte units, so each fragment's payload must be a multiple of 8
+	// (except the last).
+	first := (maxFragment - 4) / 8 * 8
+	rest := (maxFragment - 5) / 8 * 8
+	if first <= 0 || rest <= 0 {
+		return nil, fmt.Errorf("sixlowpan: fragment size %d too small for headers", maxFragment)
+	}
+
+	var out [][]byte
+	header := make([]byte, 4)
+	binary.BigEndian.PutUint16(header[0:2], frag1Dispatch<<8|size)
+	binary.BigEndian.PutUint16(header[2:4], tag)
+	out = append(out, append(header, datagram[:first]...))
+
+	for off := first; off < len(datagram); off += rest {
+		end := off + rest
+		if end > len(datagram) {
+			end = len(datagram)
+		}
+		h := make([]byte, 5)
+		binary.BigEndian.PutUint16(h[0:2], fragNDispatch<<8|size)
+		binary.BigEndian.PutUint16(h[2:4], tag)
+		h[4] = byte(off / 8)
+		out = append(out, append(h, datagram[off:end]...))
+	}
+	return out, nil
+}
+
+// fragmentKey identifies an in-flight reassembly.
+type fragmentKey struct {
+	tag  uint16
+	size uint16
+}
+
+type reassembly struct {
+	data     []byte
+	received map[int]int // offset -> length
+}
+
+// Reassembler rebuilds datagrams from fragments, tracking multiple
+// concurrent datagram tags.
+type Reassembler struct {
+	inFlight map[fragmentKey]*reassembly
+}
+
+// NewReassembler builds an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{inFlight: make(map[fragmentKey]*reassembly)}
+}
+
+// Accept consumes one link-layer payload. It returns the complete
+// datagram once every fragment has arrived, or nil while the datagram is
+// still partial. Unfragmented payloads return immediately.
+func (r *Reassembler) Accept(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("sixlowpan: empty payload")
+	}
+	dispatch := payload[0] & 0xf8
+	if dispatch != frag1Dispatch && dispatch != fragNDispatch {
+		return append([]byte{}, payload...), nil
+	}
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("sixlowpan: truncated fragment header")
+	}
+	size := binary.BigEndian.Uint16(payload[0:2]) & 0x07ff
+	tag := binary.BigEndian.Uint16(payload[2:4])
+	key := fragmentKey{tag: tag, size: size}
+
+	var offset, headerLen int
+	if dispatch == frag1Dispatch {
+		offset, headerLen = 0, 4
+	} else {
+		if len(payload) < 6 {
+			return nil, fmt.Errorf("sixlowpan: truncated FRAGN header")
+		}
+		offset, headerLen = int(payload[4])*8, 5
+	}
+	body := payload[headerLen:]
+	if offset+len(body) > int(size) {
+		return nil, fmt.Errorf("sixlowpan: fragment overruns datagram (offset %d + %d > %d)", offset, len(body), size)
+	}
+
+	ra, ok := r.inFlight[key]
+	if !ok {
+		ra = &reassembly{data: make([]byte, size), received: make(map[int]int)}
+		r.inFlight[key] = ra
+	}
+	if prev, dup := ra.received[offset]; dup && prev != len(body) {
+		return nil, fmt.Errorf("sixlowpan: conflicting fragment at offset %d", offset)
+	}
+	copy(ra.data[offset:], body)
+	ra.received[offset] = len(body)
+
+	// Complete when the received ranges tile [0, size).
+	offsets := make([]int, 0, len(ra.received))
+	for off := range ra.received {
+		offsets = append(offsets, off)
+	}
+	sort.Ints(offsets)
+	next := 0
+	for _, off := range offsets {
+		if off != next {
+			return nil, nil // gap remains
+		}
+		next = off + ra.received[off]
+	}
+	if next < int(size) {
+		return nil, nil
+	}
+	delete(r.inFlight, key)
+	return ra.data, nil
+}
+
+// Pending reports how many datagrams are partially reassembled.
+func (r *Reassembler) Pending() int {
+	return len(r.inFlight)
+}

@@ -1,0 +1,186 @@
+package sixlowpan
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testDatagram(n int, seed int64) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+func TestFragmentSmallDatagramPassesThrough(t *testing.T) {
+	d := testDatagram(40, 1)
+	frags, err := Fragment(d, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !bytes.Equal(frags[0], d) {
+		t.Errorf("small datagram fragmented: %d pieces", len(frags))
+	}
+}
+
+func TestFragmentValidation(t *testing.T) {
+	if _, err := Fragment(nil, 1, 100); err == nil {
+		t.Error("expected error for empty datagram")
+	}
+	if _, err := Fragment(make([]byte, MaxDatagramSize+1), 1, 100); err == nil {
+		t.Error("expected error for oversized datagram")
+	}
+	if _, err := Fragment(make([]byte, 500), 1, 8); err == nil {
+		t.Error("expected error for tiny fragment size")
+	}
+}
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	d := testDatagram(1280, 2) // a full IPv6 MTU
+	frags, err := Fragment(d, 0x1234, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 12 {
+		t.Fatalf("only %d fragments for a 1280-byte datagram", len(frags))
+	}
+	for _, f := range frags {
+		if len(f) > 102 {
+			t.Fatalf("fragment length %d exceeds the link MTU", len(f))
+		}
+	}
+	r := NewReassembler()
+	for i, f := range frags {
+		got, err := r.Accept(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(frags)-1 && got != nil {
+			t.Fatalf("datagram completed early at fragment %d", i)
+		}
+		if i == len(frags)-1 {
+			if !bytes.Equal(got, d) {
+				t.Fatal("reassembled datagram differs")
+			}
+		}
+	}
+	if r.Pending() != 0 {
+		t.Errorf("pending = %d after completion", r.Pending())
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	d := testDatagram(400, 3)
+	frags, err := Fragment(d, 9, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver in reverse.
+	r := NewReassembler()
+	var got []byte
+	for i := len(frags) - 1; i >= 0; i-- {
+		out, err := r.Accept(frags[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, d) {
+		t.Error("out-of-order reassembly failed")
+	}
+}
+
+func TestReassembleInterleavedTags(t *testing.T) {
+	a := testDatagram(300, 4)
+	b := testDatagram(300, 5)
+	fa, err := Fragment(a, 1, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fragment(b, 2, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReassembler()
+	var gotA, gotB []byte
+	for i := 0; i < len(fa) || i < len(fb); i++ {
+		if i < len(fa) {
+			if out, err := r.Accept(fa[i]); err != nil {
+				t.Fatal(err)
+			} else if out != nil {
+				gotA = out
+			}
+		}
+		if i < len(fb) {
+			if out, err := r.Accept(fb[i]); err != nil {
+				t.Fatal(err)
+			} else if out != nil {
+				gotB = out
+			}
+		}
+	}
+	if !bytes.Equal(gotA, a) || !bytes.Equal(gotB, b) {
+		t.Error("interleaved reassembly failed")
+	}
+}
+
+func TestReassemblerRejectsGarbage(t *testing.T) {
+	r := NewReassembler()
+	if _, err := r.Accept(nil); err == nil {
+		t.Error("expected error for empty payload")
+	}
+	if _, err := r.Accept([]byte{frag1Dispatch, 0x10, 0x00}); err == nil {
+		t.Error("expected error for truncated FRAG1")
+	}
+	if _, err := r.Accept([]byte{fragNDispatch, 0x10, 0, 1, 0}); err == nil {
+		t.Error("expected error for truncated FRAGN")
+	}
+	// Fragment overrunning the declared size.
+	bad := []byte{fragNDispatch, 0x10, 0, 1, 0xff}
+	bad = append(bad, make([]byte, 64)...)
+	if _, err := r.Accept(bad); err == nil {
+		t.Error("expected error for overrunning fragment")
+	}
+}
+
+func TestReassemblerPassesUnfragmented(t *testing.T) {
+	r := NewReassembler()
+	plain := []byte{0x60, 0x33, 1, 2, 3} // IPHC dispatch
+	got, err := r.Accept(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Error("unfragmented payload mangled")
+	}
+}
+
+func TestFragmentProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint16, mtuSel uint8) bool {
+		size := 100 + int(sizeSel%1500)
+		mtu := 60 + int(mtuSel%68)
+		d := testDatagram(size, seed)
+		frags, err := Fragment(d, uint16(seed), mtu)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler()
+		var got []byte
+		for _, frag := range frags {
+			out, err := r.Accept(frag)
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		return bytes.Equal(got, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package sixlowpan
+
+import "testing"
+
+// FuzzDecompress feeds the IPHC decompressor arbitrary datagrams: it
+// must never panic, and whatever decompresses must re-compress and
+// decompress to the same headers.
+func FuzzDecompress(f *testing.F) {
+	ip := &IPv6Header{
+		NextHeader: ProtoUDP,
+		HopLimit:   64,
+		Src:        LinkLocalFromShort(0x1234, 0x0063),
+		Dst:        LinkLocalFromShort(0x1234, 0x0042),
+	}
+	seed, _ := Compress(0x1234, 0x0063, 0x0042, ip, &UDPHeader{SrcPort: 0xf0b1, DstPort: 0xf0b2}, []byte("x"))
+	f.Add(seed)
+	f.Add([]byte{0x60, 0x33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotIP, gotUDP, payload, err := Decompress(0x1234, 0x0063, 0x0042, data)
+		if err != nil {
+			return
+		}
+		out, err := Compress(0x1234, 0x0063, 0x0042, gotIP, gotUDP, payload)
+		if err != nil {
+			t.Fatalf("decompressed headers do not re-compress: %v", err)
+		}
+		ip2, udp2, payload2, err := Decompress(0x1234, 0x0063, 0x0042, out)
+		if err != nil {
+			t.Fatalf("re-compressed datagram does not decompress: %v", err)
+		}
+		if *ip2 != *gotIP {
+			t.Fatalf("IP header diverged: %+v vs %+v", gotIP, ip2)
+		}
+		if (udp2 == nil) != (gotUDP == nil) || (udp2 != nil && *udp2 != *gotUDP) {
+			t.Fatalf("UDP header diverged")
+		}
+		if string(payload2) != string(payload) {
+			t.Fatalf("payload diverged")
+		}
+	})
+}
+
+// FuzzReassembler feeds the fragment reassembler arbitrary payloads.
+func FuzzReassembler(f *testing.F) {
+	frags, _ := Fragment(make([]byte, 300), 1, 90)
+	for _, fr := range frags {
+		f.Add(fr)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r := NewReassembler()
+		// Feeding the same arbitrary payload repeatedly must never
+		// panic nor grow state unboundedly for complete datagrams.
+		for i := 0; i < 3; i++ {
+			_, _ = r.Accept(payload)
+		}
+		if r.Pending() > 1 {
+			t.Fatalf("single-tag input left %d pending reassemblies", r.Pending())
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// Package sixlowpan implements the 6LoWPAN adaptation layer (RFC 6282
+// IPHC header compression with the UDP next-header compression), the
+// other major protocol family the paper names as exposed by WazaBee:
+// "each system communicating via a protocol based on the 802.15.4
+// standard (Zigbee, 6LoWPan ...) being potentially accessible from a
+// component supporting BLE".
+//
+// The subset implemented covers the common single-hop case of
+// Thread-style mesh-local traffic: link-local IPv6 addresses derived
+// from MAC addresses (fully elided), 16-bit-compressed or fully inline
+// addresses, compressed hop limits, elided traffic class/flow label, and
+// UDP with the three port-compression forms.
+package sixlowpan
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv6Header is the subset of the IPv6 header 6LoWPAN carries.
+type IPv6Header struct {
+	// TrafficClass and FlowLabel are elided when zero (TF=11).
+	TrafficClass uint8
+	FlowLabel    uint32
+	// NextHeader is the payload protocol (17 = UDP).
+	NextHeader uint8
+	// HopLimit is compressed when 1, 64 or 255.
+	HopLimit uint8
+	Src, Dst [16]byte
+}
+
+// UDPHeader is the transport header of a compressed UDP datagram.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+}
+
+// ProtoUDP is the IPv6 next-header value for UDP.
+const ProtoUDP = 17
+
+// iphc dispatch: 011 in the top three bits of the first byte.
+const iphcDispatch = 0x60
+
+// udpNHCPrefix is the 11110 prefix of the UDP next-header compression.
+const udpNHCPrefix = 0xf0
+
+// LinkLocalFromShort derives the link-local IPv6 address of a node with
+// a 16-bit short address on a PAN, per RFC 4944 §6/RFC 6282: the IID is
+// formed as PAN:00ff:fe00:short with the universal/local bit cleared.
+func LinkLocalFromShort(pan, short uint16) [16]byte {
+	var a [16]byte
+	a[0], a[1] = 0xfe, 0x80
+	binary.BigEndian.PutUint16(a[8:10], pan&0xfdff) // U/L bit zero
+	a[10], a[11] = 0x00, 0xff
+	a[12], a[13] = 0xfe, 0x00
+	binary.BigEndian.PutUint16(a[14:16], short)
+	return a
+}
+
+// addrMode classifies how an address compresses against the link-local
+// context of a node with the given short address.
+func addrMode(addr [16]byte, pan, short uint16) (mode uint8, inline []byte) {
+	if addr == LinkLocalFromShort(pan, short) {
+		return 3, nil // fully elided
+	}
+	// Link-local with a 16-bit-derivable IID: ::ff:fe00:XXXX.
+	var prefix [8]byte
+	prefix[0], prefix[1] = 0xfe, 0x80
+	if [8]byte(addr[0:8]) == prefix &&
+		addr[8] == 0 && addr[9] == 0 && addr[10] == 0 && addr[11] == 0xff &&
+		addr[12] == 0xfe && addr[13] == 0 {
+		return 2, addr[14:16]
+	}
+	return 0, addr[:] // 128 bits inline
+}
+
+// Compress encodes an IPv6+UDP datagram into its 6LoWPAN form. The PAN
+// and short addresses of the MAC frame carrying the datagram provide the
+// compression context. Non-UDP payloads keep their next header inline.
+func Compress(pan, srcShort, dstShort uint16, ip *IPv6Header, udp *UDPHeader, payload []byte) ([]byte, error) {
+	if ip == nil {
+		return nil, fmt.Errorf("sixlowpan: nil IPv6 header")
+	}
+	if udp != nil && ip.NextHeader != ProtoUDP {
+		return nil, fmt.Errorf("sixlowpan: UDP header with next header %d", ip.NextHeader)
+	}
+
+	b0 := byte(iphcDispatch)
+	var b1 byte
+	var inline []byte
+
+	// TF: only the fully-elided form is emitted (non-zero class/label
+	// fall back to inline TF=00).
+	tfElided := ip.TrafficClass == 0 && ip.FlowLabel == 0
+	if tfElided {
+		b0 |= 0x18 // TF = 11
+	} else {
+		inline = append(inline, ip.TrafficClass|byte(ip.FlowLabel>>20&0x0f)<<0)
+		// ECN+DSCP then 4-bit pad + 20-bit flow label (TF = 00 form,
+		// 4 bytes total).
+		inline = append(inline,
+			byte(ip.FlowLabel>>16)&0x0f,
+			byte(ip.FlowLabel>>8),
+			byte(ip.FlowLabel))
+	}
+
+	// NH: compressed when UDP NHC follows.
+	if udp != nil {
+		b0 |= 0x04
+	} else {
+		inline = append(inline, ip.NextHeader)
+	}
+
+	// HLIM.
+	switch ip.HopLimit {
+	case 1:
+		b0 |= 0x01
+	case 64:
+		b0 |= 0x02
+	case 255:
+		b0 |= 0x03
+	default:
+		inline = append(inline, ip.HopLimit)
+	}
+
+	// Source and destination address modes (stateless, CID=0).
+	sam, samInline := addrMode(ip.Src, pan, srcShort)
+	dam, damInline := addrMode(ip.Dst, pan, dstShort)
+	b1 |= sam << 4
+	b1 |= dam
+	inline = append(inline, samInline...)
+	inline = append(inline, damInline...)
+
+	out := append([]byte{b0, b1}, inline...)
+
+	if udp != nil {
+		nhc, err := compressUDP(udp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nhc...)
+	}
+	return append(out, payload...), nil
+}
+
+func compressUDP(udp *UDPHeader) ([]byte, error) {
+	const wellKnown = 0xf0b0 // ports in the f0bX range compress to a nibble
+	switch {
+	case udp.SrcPort&0xfff0 == wellKnown && udp.DstPort&0xfff0 == wellKnown:
+		return []byte{udpNHCPrefix | 0x03,
+			byte(udp.SrcPort&0x0f)<<4 | byte(udp.DstPort&0x0f)}, nil
+	case udp.DstPort>>8 == 0xf0:
+		// Destination port f0XX: 8-bit compression.
+		out := []byte{udpNHCPrefix | 0x01}
+		out = binary.BigEndian.AppendUint16(out, udp.SrcPort)
+		return append(out, byte(udp.DstPort)), nil
+	case udp.SrcPort>>8 == 0xf0:
+		out := []byte{udpNHCPrefix | 0x02, byte(udp.SrcPort)}
+		return binary.BigEndian.AppendUint16(out, udp.DstPort), nil
+	default:
+		out := []byte{udpNHCPrefix}
+		out = binary.BigEndian.AppendUint16(out, udp.SrcPort)
+		return binary.BigEndian.AppendUint16(out, udp.DstPort), nil
+	}
+}
+
+// Decompress reverses Compress given the same MAC-layer context. udp is
+// nil when the datagram carried a non-UDP payload.
+func Decompress(pan, srcShort, dstShort uint16, data []byte) (*IPv6Header, *UDPHeader, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, nil, fmt.Errorf("sixlowpan: datagram too short")
+	}
+	b0, b1 := data[0], data[1]
+	if b0&0xe0 != iphcDispatch {
+		return nil, nil, nil, fmt.Errorf("sixlowpan: not an IPHC datagram (dispatch %#02x)", b0)
+	}
+	off := 2
+	need := func(n int) error {
+		if off+n > len(data) {
+			return fmt.Errorf("sixlowpan: truncated IPHC fields")
+		}
+		return nil
+	}
+	ip := &IPv6Header{}
+
+	switch (b0 >> 3) & 0x3 { // TF
+	case 3:
+		// Elided: zero class and label.
+	case 0:
+		if err := need(4); err != nil {
+			return nil, nil, nil, err
+		}
+		ip.TrafficClass = data[off]
+		ip.FlowLabel = uint32(data[off+1]&0x0f)<<16 | uint32(data[off+2])<<8 | uint32(data[off+3])
+		off += 4
+	default:
+		return nil, nil, nil, fmt.Errorf("sixlowpan: unsupported TF mode %d", (b0>>3)&0x3)
+	}
+
+	nhCompressed := b0&0x04 != 0
+	if !nhCompressed {
+		if err := need(1); err != nil {
+			return nil, nil, nil, err
+		}
+		ip.NextHeader = data[off]
+		off++
+	}
+
+	switch b0 & 0x3 { // HLIM
+	case 0:
+		if err := need(1); err != nil {
+			return nil, nil, nil, err
+		}
+		ip.HopLimit = data[off]
+		off++
+	case 1:
+		ip.HopLimit = 1
+	case 2:
+		ip.HopLimit = 64
+	case 3:
+		ip.HopLimit = 255
+	}
+
+	readAddr := func(mode uint8, short uint16) ([16]byte, error) {
+		switch mode {
+		case 3:
+			return LinkLocalFromShort(pan, short), nil
+		case 2:
+			if err := need(2); err != nil {
+				return [16]byte{}, err
+			}
+			var a [16]byte
+			a[0], a[1] = 0xfe, 0x80
+			a[11], a[12] = 0xff, 0xfe
+			a[14], a[15] = data[off], data[off+1]
+			off += 2
+			return a, nil
+		case 0:
+			if err := need(16); err != nil {
+				return [16]byte{}, err
+			}
+			var a [16]byte
+			copy(a[:], data[off:off+16])
+			off += 16
+			return a, nil
+		default:
+			return [16]byte{}, fmt.Errorf("sixlowpan: unsupported address mode %d", mode)
+		}
+	}
+	var err error
+	if ip.Src, err = readAddr(b1>>4&0x3, srcShort); err != nil {
+		return nil, nil, nil, err
+	}
+	if ip.Dst, err = readAddr(b1&0x3, dstShort); err != nil {
+		return nil, nil, nil, err
+	}
+
+	var udp *UDPHeader
+	if nhCompressed {
+		ip.NextHeader = ProtoUDP
+		if err := need(1); err != nil {
+			return nil, nil, nil, err
+		}
+		nhc := data[off]
+		off++
+		if nhc&0xf8 != udpNHCPrefix {
+			return nil, nil, nil, fmt.Errorf("sixlowpan: unsupported NHC %#02x", nhc)
+		}
+		udp = &UDPHeader{}
+		switch nhc & 0x3 {
+		case 3:
+			if err := need(1); err != nil {
+				return nil, nil, nil, err
+			}
+			udp.SrcPort = 0xf0b0 | uint16(data[off]>>4)
+			udp.DstPort = 0xf0b0 | uint16(data[off]&0x0f)
+			off++
+		case 1:
+			if err := need(3); err != nil {
+				return nil, nil, nil, err
+			}
+			udp.SrcPort = binary.BigEndian.Uint16(data[off:])
+			udp.DstPort = 0xf000 | uint16(data[off+2])
+			off += 3
+		case 2:
+			if err := need(3); err != nil {
+				return nil, nil, nil, err
+			}
+			udp.SrcPort = 0xf000 | uint16(data[off])
+			udp.DstPort = binary.BigEndian.Uint16(data[off+1:])
+			off += 3
+		case 0:
+			if err := need(4); err != nil {
+				return nil, nil, nil, err
+			}
+			udp.SrcPort = binary.BigEndian.Uint16(data[off:])
+			udp.DstPort = binary.BigEndian.Uint16(data[off+2:])
+			off += 4
+		}
+	}
+	return ip, udp, append([]byte{}, data[off:]...), nil
+}

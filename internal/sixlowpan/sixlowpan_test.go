@@ -1,0 +1,192 @@
+package sixlowpan
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	testPAN = 0x1234
+	srcAddr = 0x0063
+	dstAddr = 0x0042
+)
+
+func TestLinkLocalFromShort(t *testing.T) {
+	a := LinkLocalFromShort(testPAN, srcAddr)
+	if a[0] != 0xfe || a[1] != 0x80 {
+		t.Errorf("prefix = %02x%02x, want fe80", a[0], a[1])
+	}
+	if a[10] != 0x00 || a[11] != 0xff || a[12] != 0xfe || a[13] != 0x00 {
+		t.Errorf("IID filler = % x", a[10:14])
+	}
+	if a[14] != 0x00 || a[15] != 0x63 {
+		t.Errorf("short address bytes = % x", a[14:16])
+	}
+	// Universal/local bit cleared.
+	if a[8]&0x02 != 0 {
+		t.Error("U/L bit set")
+	}
+}
+
+func TestCompressFullyElidedUDP(t *testing.T) {
+	ip := &IPv6Header{
+		NextHeader: ProtoUDP,
+		HopLimit:   64,
+		Src:        LinkLocalFromShort(testPAN, srcAddr),
+		Dst:        LinkLocalFromShort(testPAN, dstAddr),
+	}
+	udp := &UDPHeader{SrcPort: 0xf0b1, DstPort: 0xf0b2}
+	payload := []byte("thread says hi")
+
+	out, err := Compress(testPAN, srcAddr, dstAddr, ip, udp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best case: 2 IPHC bytes + 1 NHC byte + 1 ports byte + payload.
+	if want := 4 + len(payload); len(out) != want {
+		t.Errorf("compressed length = %d, want %d (maximum compression)", len(out), want)
+	}
+
+	gotIP, gotUDP, gotPayload, err := Decompress(testPAN, srcAddr, dstAddr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotIP != *ip {
+		t.Errorf("IP header = %+v, want %+v", gotIP, ip)
+	}
+	if gotUDP == nil || *gotUDP != *udp {
+		t.Errorf("UDP header = %+v, want %+v", gotUDP, udp)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload = %q", gotPayload)
+	}
+}
+
+func TestCompressRoundTripVariants(t *testing.T) {
+	var remote [16]byte
+	copy(remote[:], []byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	ll16 := [16]byte{0: 0xfe, 1: 0x80, 11: 0xff, 12: 0xfe, 14: 0x99, 15: 0x01}
+
+	tests := []struct {
+		name string
+		ip   IPv6Header
+		udp  *UDPHeader
+	}{
+		{name: "elided addresses inline hop", ip: IPv6Header{
+			NextHeader: ProtoUDP, HopLimit: 17,
+			Src: LinkLocalFromShort(testPAN, srcAddr), Dst: LinkLocalFromShort(testPAN, dstAddr),
+		}, udp: &UDPHeader{SrcPort: 5683, DstPort: 5683}},
+		{name: "global addresses inline", ip: IPv6Header{
+			NextHeader: ProtoUDP, HopLimit: 255, Src: remote, Dst: remote,
+		}, udp: &UDPHeader{SrcPort: 0xf042, DstPort: 1234}},
+		{name: "16-bit compressible", ip: IPv6Header{
+			NextHeader: ProtoUDP, HopLimit: 1, Src: ll16, Dst: ll16,
+		}, udp: &UDPHeader{SrcPort: 1000, DstPort: 0xf011}},
+		{name: "non-udp payload", ip: IPv6Header{
+			NextHeader: 58 /* ICMPv6 */, HopLimit: 255,
+			Src: LinkLocalFromShort(testPAN, srcAddr), Dst: remote,
+		}},
+		{name: "traffic class inline", ip: IPv6Header{
+			TrafficClass: 0x20, FlowLabel: 0xbeef, NextHeader: ProtoUDP, HopLimit: 64,
+			Src: LinkLocalFromShort(testPAN, srcAddr), Dst: LinkLocalFromShort(testPAN, dstAddr),
+		}, udp: &UDPHeader{SrcPort: 7, DstPort: 7}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			payload := []byte{1, 2, 3}
+			out, err := Compress(testPAN, srcAddr, dstAddr, &tt.ip, tt.udp, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIP, gotUDP, gotPayload, err := Decompress(testPAN, srcAddr, dstAddr, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *gotIP != tt.ip {
+				t.Errorf("IP = %+v, want %+v", gotIP, tt.ip)
+			}
+			if (gotUDP == nil) != (tt.udp == nil) {
+				t.Fatalf("UDP presence mismatch")
+			}
+			if tt.udp != nil && *gotUDP != *tt.udp {
+				t.Errorf("UDP = %+v, want %+v", gotUDP, tt.udp)
+			}
+			if !bytes.Equal(gotPayload, payload) {
+				t.Error("payload mismatch")
+			}
+		})
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	if _, err := Compress(testPAN, srcAddr, dstAddr, nil, nil, nil); err == nil {
+		t.Error("expected error for nil IP header")
+	}
+	ip := &IPv6Header{NextHeader: 58}
+	if _, err := Compress(testPAN, srcAddr, dstAddr, ip, &UDPHeader{}, nil); err == nil {
+		t.Error("expected error for UDP header with non-UDP next header")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, _, _, err := Decompress(testPAN, srcAddr, dstAddr, []byte{0x60}); err == nil {
+		t.Error("expected error for short datagram")
+	}
+	if _, _, _, err := Decompress(testPAN, srcAddr, dstAddr, []byte{0x00, 0x00}); err == nil {
+		t.Error("expected error for wrong dispatch")
+	}
+	// Truncated inline fields.
+	if _, _, _, err := Decompress(testPAN, srcAddr, dstAddr, []byte{0x60, 0x00}); err == nil {
+		t.Error("expected error for truncated TF bytes")
+	}
+	// Valid IPHC but truncated NHC.
+	ip := &IPv6Header{NextHeader: ProtoUDP, HopLimit: 64,
+		Src: LinkLocalFromShort(testPAN, srcAddr), Dst: LinkLocalFromShort(testPAN, dstAddr)}
+	out, err := Compress(testPAN, srcAddr, dstAddr, ip, &UDPHeader{SrcPort: 1, DstPort: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Decompress(testPAN, srcAddr, dstAddr, out[:3]); err == nil {
+		t.Error("expected error for truncated UDP NHC")
+	}
+}
+
+func TestCompressionProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, hop uint8, payload []byte) bool {
+		ip := &IPv6Header{
+			NextHeader: ProtoUDP,
+			HopLimit:   hop,
+			Src:        LinkLocalFromShort(testPAN, srcAddr),
+			Dst:        LinkLocalFromShort(testPAN, dstAddr),
+		}
+		udp := &UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+		out, err := Compress(testPAN, srcAddr, dstAddr, ip, udp, payload)
+		if err != nil {
+			return false
+		}
+		gotIP, gotUDP, gotPayload, err := Decompress(testPAN, srcAddr, dstAddr, out)
+		if err != nil {
+			return false
+		}
+		return *gotIP == *ip && gotUDP != nil && *gotUDP == *udp && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionBeatsRawHeaders(t *testing.T) {
+	// The whole point of 6LoWPAN: 40-byte IPv6 + 8-byte UDP headers fit
+	// an 802.15.4 frame. Maximum compression reduces 48 bytes to 4.
+	ip := &IPv6Header{NextHeader: ProtoUDP, HopLimit: 255,
+		Src: LinkLocalFromShort(testPAN, srcAddr), Dst: LinkLocalFromShort(testPAN, dstAddr)}
+	udp := &UDPHeader{SrcPort: 0xf0b0, DstPort: 0xf0bf}
+	out, err := Compress(testPAN, srcAddr, dstAddr, ip, udp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > 4 {
+		t.Errorf("maximally compressed headers take %d bytes, want ≤ 4", len(out))
+	}
+}

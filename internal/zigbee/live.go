@@ -1,0 +1,103 @@
+package zigbee
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wazabee/internal/dsp"
+)
+
+// LiveNetwork runs the victim network in real time: a background
+// goroutine ticks the sensor at its reporting interval (two seconds in
+// the paper's setup, configurable for tests) and streams the
+// attacker-audible captures to a channel, so a sniffer can consume
+// traffic as it happens instead of stepping the simulation manually.
+//
+// While a LiveNetwork is running it owns its Simulation; interact with
+// the simulation again only after Shutdown returns.
+type LiveNetwork struct {
+	sim            *Simulation
+	interval       time.Duration
+	captureChannel int
+
+	captures chan dsp.IQ
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// StartLive spawns the network's reporting loop. captureChannel selects
+// where the observer's radio is tuned. The returned LiveNetwork must be
+// stopped with Shutdown.
+func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*LiveNetwork, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("zigbee: nil simulation")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("zigbee: non-positive reporting interval %v", interval)
+	}
+	if _, err := channelFreq(captureChannel); err != nil {
+		return nil, err
+	}
+	l := &LiveNetwork{
+		sim:            sim,
+		interval:       interval,
+		captureChannel: captureChannel,
+		captures:       make(chan dsp.IQ, 1),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	go l.run()
+	return l, nil
+}
+
+// Captures streams one capture per sensor reporting period. The channel
+// closes when the network shuts down (or hits an error — check Err).
+func (l *LiveNetwork) Captures() <-chan dsp.IQ {
+	return l.captures
+}
+
+// Err returns the first error the reporting loop encountered, if any.
+func (l *LiveNetwork) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Shutdown stops the reporting loop and waits for it to exit. It is
+// safe to call multiple times.
+func (l *LiveNetwork) Shutdown() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+func (l *LiveNetwork) run() {
+	defer close(l.done)
+	defer close(l.captures)
+
+	ticker := time.NewTicker(l.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			capture, err := l.sim.Step(l.captureChannel)
+			if err != nil {
+				l.mu.Lock()
+				l.err = err
+				l.mu.Unlock()
+				return
+			}
+			select {
+			case l.captures <- capture:
+			case <-l.stop:
+				return
+			}
+		}
+	}
+}

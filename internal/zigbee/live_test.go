@@ -1,0 +1,143 @@
+package zigbee
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wazabee/internal/ieee802154"
+)
+
+func TestStartLiveValidation(t *testing.T) {
+	sim, err := NewSimulation(41, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartLive(nil, time.Millisecond, DefaultChannel); err == nil {
+		t.Error("expected error for nil simulation")
+	}
+	if _, err := StartLive(sim, 0, DefaultChannel); err == nil {
+		t.Error("expected error for zero interval")
+	}
+	if _, err := StartLive(sim, time.Millisecond, 99); err == nil {
+		t.Error("expected error for invalid channel")
+	}
+}
+
+func TestLiveNetworkStreamsCaptures(t *testing.T) {
+	sim, err := NewSimulation(42, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := StartLive(sim, 2*time.Millisecond, DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Shutdown()
+
+	received := 0
+	deadline := time.After(3 * time.Second)
+	for received < 3 {
+		select {
+		case capture, ok := <-live.Captures():
+			if !ok {
+				t.Fatalf("capture stream closed early (err=%v)", live.Err())
+			}
+			dem, err := sim.PHY.Demodulate(capture)
+			if err != nil {
+				t.Fatalf("capture %d undecodable: %v", received, err)
+			}
+			frame, err := ieee802154.ParseMACFrame(dem.PPDU.PSDU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frame.SrcAddr != DefaultSensor {
+				t.Errorf("capture from %#04x, want sensor", frame.SrcAddr)
+			}
+			received++
+		case <-deadline:
+			t.Fatalf("only %d captures within deadline", received)
+		}
+	}
+	if live.Err() != nil {
+		t.Errorf("live network error: %v", live.Err())
+	}
+}
+
+func TestLiveNetworkShutdownIdempotent(t *testing.T) {
+	sim, err := NewSimulation(43, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := StartLive(sim, time.Millisecond, DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Shutdown()
+	live.Shutdown() // must not panic or block
+
+	// After shutdown the capture stream drains and closes.
+	for range live.Captures() {
+	}
+	// The coordinator recorded whatever periods elapsed; the simulation
+	// is usable again.
+	if _, err := sim.Step(DefaultChannel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveNetworkSurfacesErrors(t *testing.T) {
+	sim, err := NewSimulation(44, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the sensor so Step fails: an invalid channel makes
+	// channelFreq error out.
+	sim.Sensor.Channel = 99
+	live, err := StartLive(sim, time.Millisecond, DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case _, ok := <-live.Captures():
+			if !ok {
+				if live.Err() == nil {
+					t.Fatal("stream closed without surfacing the error")
+				}
+				live.Shutdown() // still safe after an error exit
+				return
+			}
+		case <-deadline:
+			t.Fatal("error was never surfaced")
+		}
+	}
+}
+
+func TestLiveNetworkStopWhileBlocked(t *testing.T) {
+	sim, err := NewSimulation(45, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := StartLive(sim, time.Millisecond, DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never consume captures: the producer blocks on the channel; a
+	// shutdown must still complete promptly.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		live.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Shutdown blocked on an unconsumed capture")
+	}
+	if err := live.Err(); err != nil && !errors.Is(err, nil) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package zigbee
+
+import (
+	"fmt"
+
+	"wazabee/internal/ieee802154"
+)
+
+// Defaults of the experimental setup in section VI-A.
+const (
+	DefaultPAN         = 0x1234
+	DefaultCoordinator = 0x0042
+	DefaultSensor      = 0x0063
+	DefaultChannel     = 14
+)
+
+// Sensor is the XBee end device: it periodically reports a reading to the
+// coordinator and applies remote AT commands addressed to it — including
+// the channel change the attack injects.
+type Sensor struct {
+	// PAN, Addr and CoordAddr identify the node and its coordinator.
+	PAN, Addr, CoordAddr uint16
+	// Channel is the current 802.15.4 channel; remote AT "CH" commands
+	// rewrite it.
+	Channel int
+	// Security, when set, seals outgoing payloads and requires inbound
+	// configuration commands to authenticate — the section VII
+	// counter-measure.
+	Security *SecurityContext
+	// Battery, when set, tracks the node's energy budget (the
+	// energy-depletion DoS target).
+	Battery *Battery
+
+	seq     uint8
+	reading uint16
+}
+
+// NewSensor builds the default sensor of the experimental setup.
+func NewSensor() *Sensor {
+	return &Sensor{
+		PAN:       DefaultPAN,
+		Addr:      DefaultSensor,
+		CoordAddr: DefaultCoordinator,
+		Channel:   DefaultChannel,
+	}
+}
+
+// NextDataFrame produces the sensor's next periodic reading frame (the
+// reading increments each period, standing in for a temperature). On a
+// secured network the payload is sealed.
+func (s *Sensor) NextDataFrame() (*ieee802154.MACFrame, error) {
+	s.reading++
+	s.seq++
+	if s.Battery != nil {
+		s.Battery.Drain(s.Battery.TxCostMicroJ)
+	}
+	payload := SensorPayload(s.reading)
+	frame := ieee802154.NewDataFrame(s.seq, s.PAN, s.CoordAddr, s.Addr, payload, true)
+	if s.Security != nil {
+		sealed, err := s.Security.Seal(payload)
+		if err != nil {
+			return nil, err
+		}
+		frame.Payload = sealed
+		frame.Security = true
+	}
+	return frame, nil
+}
+
+// Handle processes a frame heard on the sensor's channel and returns the
+// sensor's reply, or nil when the frame does not concern it.
+func (s *Sensor) Handle(f *ieee802154.MACFrame) (*ieee802154.MACFrame, error) {
+	if f == nil {
+		return nil, fmt.Errorf("zigbee: nil frame")
+	}
+	if f.Type != ieee802154.FrameData || f.DestMode != ieee802154.AddrShort {
+		return nil, nil
+	}
+	if f.DestPAN != s.PAN || f.DestAddr != s.Addr {
+		return nil, nil
+	}
+	if s.Battery != nil {
+		// Receiving the frame costs radio energy whether or not it
+		// turns out to be garbage — the lever of the energy-depletion
+		// attack.
+		s.Battery.Drain(s.Battery.RxCostMicroJ)
+	}
+	payload := f.Payload
+	if s.Security != nil {
+		// Configuration commands must authenticate; anything else —
+		// including WazaBee-injected cleartext — is silently dropped.
+		if !f.Security {
+			return nil, nil
+		}
+		if s.Battery != nil {
+			// The CCM* verification burns energy even when it fails:
+			// cryptography cannot price-discriminate before checking.
+			s.Battery.Drain(s.Battery.CryptoCostMicroJ)
+		}
+		opened, err := s.Security.Open(payload)
+		if err != nil {
+			return nil, nil
+		}
+		payload = opened
+	}
+	cmd, err := ParseATCommand(payload)
+	if err != nil {
+		return nil, nil // data not for the configuration layer
+	}
+	status := byte(0)
+	switch cmd.Command {
+	case "CH":
+		if len(cmd.Param) == 1 && int(cmd.Param[0]) >= ieee802154.FirstChannel && int(cmd.Param[0]) <= ieee802154.LastChannel {
+			s.Channel = int(cmd.Param[0])
+		} else {
+			status = 1 // invalid parameter
+		}
+	default:
+		status = 2 // unsupported command
+	}
+	resp := &ATResponse{FrameID: cmd.FrameID, Command: cmd.Command, Status: status}
+	respPayload, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	s.seq++
+	reply := ieee802154.NewDataFrame(s.seq, s.PAN, f.SrcAddr, s.Addr, respPayload, false)
+	if s.Security != nil {
+		sealed, err := s.Security.Seal(respPayload)
+		if err != nil {
+			return nil, err
+		}
+		reply.Payload = sealed
+		reply.Security = true
+	}
+	return reply, nil
+}
+
+// Reading is one data point recorded by the coordinator's display.
+type Reading struct {
+	// Src is the short address the frame claimed as its source.
+	Src uint16
+	// Seq is the MAC sequence number.
+	Seq uint8
+	// Value is the reported integer.
+	Value uint16
+}
+
+// Coordinator is the XBee PAN coordinator: it acknowledges sensor data,
+// graphs the readings (here: records them) and answers beacon requests
+// during active scans.
+type Coordinator struct {
+	PAN, Addr uint16
+	Channel   int
+	// Security, when set, makes the coordinator drop any data frame
+	// that does not authenticate under the network key.
+	Security *SecurityContext
+	// PermitJoining controls whether association requests are granted.
+	PermitJoining bool
+	// Associated lists the short addresses handed out to joiners.
+	Associated []uint16
+	// Readings is the display log, in arrival order.
+	Readings []Reading
+
+	seq      uint8
+	nextAddr uint16
+}
+
+// NewCoordinator builds the default coordinator of the experimental setup.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		PAN:     DefaultPAN,
+		Addr:    DefaultCoordinator,
+		Channel: DefaultChannel,
+	}
+}
+
+// Handle processes a frame heard on the coordinator's channel and returns
+// its reply (ACK or beacon), or nil.
+func (c *Coordinator) Handle(f *ieee802154.MACFrame) (*ieee802154.MACFrame, error) {
+	if f == nil {
+		return nil, fmt.Errorf("zigbee: nil frame")
+	}
+	switch f.Type {
+	case ieee802154.FrameCommand:
+		// Active scan: answer broadcast beacon requests.
+		if len(f.Payload) == 1 && ieee802154.CommandID(f.Payload[0]) == ieee802154.CmdBeaconRequest {
+			c.seq++
+			return ieee802154.NewBeacon(c.seq, c.PAN, c.Addr), nil
+		}
+		// Association: admit the joiner (or refuse) per policy.
+		if len(f.Payload) == 2 && ieee802154.CommandID(f.Payload[0]) == ieee802154.CmdAssociationRequest {
+			c.seq++
+			if !c.PermitJoining {
+				return ieee802154.NewAssociationResponse(c.seq, c.PAN, ieee802154.NoShortAddress,
+					ieee802154.BroadcastAddr, ieee802154.AssocStatusDenied), nil
+			}
+			if c.nextAddr == 0 {
+				c.nextAddr = 0x0100
+			}
+			assigned := c.nextAddr
+			c.nextAddr++
+			c.Associated = append(c.Associated, assigned)
+			return ieee802154.NewAssociationResponse(c.seq, c.PAN, ieee802154.NoShortAddress,
+				assigned, ieee802154.AssocStatusSuccess), nil
+		}
+	case ieee802154.FrameData:
+		if f.DestMode != ieee802154.AddrShort || f.DestPAN != c.PAN || f.DestAddr != c.Addr {
+			return nil, nil
+		}
+		payload := f.Payload
+		if c.Security != nil {
+			if !f.Security {
+				return nil, nil // unauthenticated data on a secured PAN
+			}
+			opened, err := c.Security.Open(payload)
+			if err != nil {
+				return nil, nil // forged or replayed
+			}
+			payload = opened
+		}
+		value, err := ParseSensorPayload(payload)
+		if err != nil {
+			return nil, nil // not a sensor reading
+		}
+		c.Readings = append(c.Readings, Reading{Src: f.SrcAddr, Seq: f.Seq, Value: value})
+		if f.AckRequest {
+			return ieee802154.NewAck(f.Seq), nil
+		}
+	}
+	return nil, nil
+}
+
+// LastReading returns the most recent display entry and false when the
+// log is empty.
+func (c *Coordinator) LastReading() (Reading, bool) {
+	if len(c.Readings) == 0 {
+		return Reading{}, false
+	}
+	return c.Readings[len(c.Readings)-1], true
+}

@@ -1,0 +1,216 @@
+package zigbee
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wazabee/internal/ieee802154"
+)
+
+var testNetworkKey = []byte("sixteen byte key")
+
+func securedPair(t *testing.T) (*Sensor, *Coordinator) {
+	t.Helper()
+	sensor := NewSensor()
+	coord := NewCoordinator()
+	sctx, err := NewSecurityContext(testNetworkKey, DefaultSensorExt, ieee802154.SecEncMIC64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, err := NewSecurityContext(testNetworkKey, DefaultCoordinatorExt, ieee802154.SecEncMIC64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor.Security = sctx
+	coord.Security = cctx
+	return sensor, coord
+}
+
+func TestNewSecurityContextValidation(t *testing.T) {
+	if _, err := NewSecurityContext([]byte("short"), 1, ieee802154.SecEncMIC32); err == nil {
+		t.Error("expected error for short key")
+	}
+	if _, err := NewSecurityContext(testNetworkKey, 1, ieee802154.SecNone); err == nil {
+		t.Error("expected error for SecNone level")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	a, err := NewSecurityContext(testNetworkKey, 0x1111, ieee802154.SecEncMIC32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSecurityContext(testNetworkKey, 0x2222, ieee802154.SecEncMIC32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("reading 23")
+	sealed, err := a.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := b.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, payload) {
+		t.Errorf("opened = %q, want %q", opened, payload)
+	}
+}
+
+func TestOpenRejectsReplay(t *testing.T) {
+	a, err := NewSecurityContext(testNetworkKey, 0x1111, ieee802154.SecEncMIC32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSecurityContext(testNetworkKey, 0x2222, ieee802154.SecEncMIC32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := a.Seal([]byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(sealed); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay returned %v, want ErrReplay", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	b, err := NewSecurityContext(testNetworkKey, 0x2222, ieee802154.SecEncMIC32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error for short payload")
+	}
+	bad := make([]byte, auxHeaderLen+8)
+	if _, err := b.Open(bad); err == nil {
+		t.Error("expected error for unprotected level in aux header")
+	}
+}
+
+func TestSecuredSensorToCoordinator(t *testing.T) {
+	sensor, coord := securedPair(t)
+	frame, err := sensor.NextDataFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.Security {
+		t.Fatal("secured sensor did not set the security bit")
+	}
+	if bytes.Contains(frame.Payload, SensorPayload(1)) {
+		t.Error("secured payload carries the cleartext reading")
+	}
+	reply, err := coord.Handle(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coord.Readings) != 1 || coord.Readings[0].Value != 1 {
+		t.Errorf("secured reading not recorded: %+v", coord.Readings)
+	}
+	if reply == nil || reply.Type != ieee802154.FrameAck {
+		t.Error("secured data frame not acknowledged")
+	}
+}
+
+func TestSecuredCoordinatorDropsForgedData(t *testing.T) {
+	_, coord := securedPair(t)
+	// The WazaBee attacker forges a cleartext reading (no key).
+	forged := ieee802154.NewDataFrame(9, coord.PAN, coord.Addr, DefaultSensor, SensorPayload(6666), true)
+	reply, err := coord.Handle(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != nil || len(coord.Readings) != 0 {
+		t.Error("unauthenticated forged reading accepted on a secured PAN")
+	}
+	// Even with the security bit set but a garbage payload.
+	forged.Security = true
+	reply, err = coord.Handle(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != nil || len(coord.Readings) != 0 {
+		t.Error("forged secured-looking reading accepted")
+	}
+}
+
+func TestSecuredSensorDropsForgedATCommand(t *testing.T) {
+	sensor, _ := securedPair(t)
+	cmdPayload, err := (&ATCommand{FrameID: 1, Command: "CH", Param: []byte{20}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := ieee802154.NewDataFrame(1, sensor.PAN, sensor.Addr, sensor.CoordAddr, cmdPayload, false)
+	reply, err := sensor.Handle(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != nil {
+		t.Error("unauthenticated AT command answered")
+	}
+	if sensor.Channel != DefaultChannel {
+		t.Error("unauthenticated AT command applied — the DoS countermeasure failed")
+	}
+}
+
+func TestSecuredSensorAcceptsAuthenticATCommand(t *testing.T) {
+	sensor, coord := securedPair(t)
+	cmdPayload, err := (&ATCommand{FrameID: 2, Command: "CH", Param: []byte{20}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := coord.Security.Seal(cmdPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := ieee802154.NewDataFrame(2, sensor.PAN, sensor.Addr, sensor.CoordAddr, sealed, false)
+	frame.Security = true
+	reply, err := sensor.Handle(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensor.Channel != 20 {
+		t.Errorf("authentic AT command not applied (channel %d)", sensor.Channel)
+	}
+	if reply == nil || !reply.Security {
+		t.Error("AT response missing or unsecured")
+	}
+	opened, err := coord.Security.Open(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseATResponse(opened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 0 {
+		t.Errorf("AT response status = %d", resp.Status)
+	}
+}
+
+func TestSimulationSecure(t *testing.T) {
+	sim, err := NewSimulation(21, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Secure(testNetworkKey, ieee802154.SecEncMIC32); err != nil {
+		t.Fatal(err)
+	}
+	// The secured network still operates: the coordinator records the
+	// sensor's sealed readings.
+	if _, err := sim.Step(DefaultChannel); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Coordinator.Readings) != 1 {
+		t.Fatalf("secured network recorded %d readings", len(sim.Coordinator.Readings))
+	}
+	if err := sim.Secure([]byte("short"), ieee802154.SecEncMIC32); err == nil {
+		t.Error("expected error for bad key")
+	}
+}

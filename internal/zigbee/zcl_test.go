@@ -1,0 +1,152 @@
+package zigbee
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestZCLFrameRoundTrip(t *testing.T) {
+	code := uint16(0x1037)
+	tests := []struct {
+		name string
+		give *ZCLFrame
+	}{
+		{name: "cluster specific", give: &ZCLFrame{
+			Type: ZCLClusterSpecific, Seq: 7, Command: OnOffCmdToggle,
+		}},
+		{name: "profile wide with payload", give: &ZCLFrame{
+			Type: ZCLProfileWide, Seq: 1, Command: ZCLCmdReportAttributes,
+			Payload: []byte{1, 2, 3},
+		}},
+		{name: "manufacturer specific", give: &ZCLFrame{
+			Type: ZCLClusterSpecific, ManufacturerCode: &code,
+			Direction: true, DisableDefaultResponse: true,
+			Seq: 9, Command: 0x42, Payload: []byte{0xff},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			raw, err := tt.give.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ParseZCLFrame(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Type != tt.give.Type || got.Seq != tt.give.Seq || got.Command != tt.give.Command {
+				t.Errorf("header = %+v", got)
+			}
+			if got.Direction != tt.give.Direction || got.DisableDefaultResponse != tt.give.DisableDefaultResponse {
+				t.Errorf("flags = %+v", got)
+			}
+			if (got.ManufacturerCode == nil) != (tt.give.ManufacturerCode == nil) {
+				t.Fatal("manufacturer presence mismatch")
+			}
+			if got.ManufacturerCode != nil && *got.ManufacturerCode != *tt.give.ManufacturerCode {
+				t.Errorf("manufacturer = %#x", *got.ManufacturerCode)
+			}
+			if !bytes.Equal(got.Payload, tt.give.Payload) {
+				t.Error("payload mismatch")
+			}
+		})
+	}
+}
+
+func TestZCLFrameErrors(t *testing.T) {
+	if _, err := (&ZCLFrame{Type: 3}).Encode(); err == nil {
+		t.Error("expected error for invalid type")
+	}
+	if _, err := ParseZCLFrame([]byte{1}); err == nil {
+		t.Error("expected error for short frame")
+	}
+	if _, err := ParseZCLFrame([]byte{0x04, 0x37}); err == nil {
+		t.Error("expected error for truncated manufacturer code")
+	}
+	if _, err := ParseZCLFrame([]byte{0x03, 1, 2}); err == nil {
+		t.Error("expected error for invalid parsed type")
+	}
+}
+
+func TestOnOffCommandStack(t *testing.T) {
+	raw, err := BuildOnOffCommand(1, 2, 3, 0x4444, 0x0b0b, OnOffCmdToggle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwk, aps, err := ParseZigbeeDataFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aps.ClusterID != ClusterOnOff || nwk.DestAddr != 0x4444 {
+		t.Errorf("stack headers: nwk=%+v aps=%+v", nwk, aps)
+	}
+	zcl, err := ParseZCLFrame(aps.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zcl.Type != ZCLClusterSpecific || zcl.Command != OnOffCmdToggle {
+		t.Errorf("ZCL = %+v", zcl)
+	}
+	if _, err := BuildOnOffCommand(1, 2, 3, 1, 2, 9); err == nil {
+		t.Error("expected error for invalid on/off command")
+	}
+}
+
+func TestTemperatureReportStack(t *testing.T) {
+	raw, err := BuildTemperatureReport(5, 6, 7, 0x0042, 0x0063, 2317) // 23.17 °C
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aps, err := ParseZigbeeDataFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aps.ClusterID != ClusterTemperature {
+		t.Errorf("cluster = %#x", aps.ClusterID)
+	}
+	zcl, err := ParseZCLFrame(aps.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTemperatureReport(zcl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2317 {
+		t.Errorf("temperature = %d, want 2317", got)
+	}
+	// Negative temperatures survive the int16 round trip.
+	raw, err = BuildTemperatureReport(5, 6, 7, 1, 2, -450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aps, err = ParseZigbeeDataFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcl, err = ParseZCLFrame(aps.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ParseTemperatureReport(zcl); err != nil || got != -450 {
+		t.Errorf("negative temperature = %d, %v", got, err)
+	}
+}
+
+func TestParseTemperatureReportErrors(t *testing.T) {
+	if _, err := ParseTemperatureReport(nil); err == nil {
+		t.Error("expected error for nil frame")
+	}
+	if _, err := ParseTemperatureReport(&ZCLFrame{Command: OnOffCmdOn}); err == nil {
+		t.Error("expected error for non-report command")
+	}
+	if _, err := ParseTemperatureReport(&ZCLFrame{Command: ZCLCmdReportAttributes, Payload: []byte{1}}); err == nil {
+		t.Error("expected error for malformed payload")
+	}
+	if _, err := ParseTemperatureReport(&ZCLFrame{
+		Command: ZCLCmdReportAttributes,
+		Payload: []byte{0x01, 0x00, ZCLTypeInt16, 0, 0},
+	}); err == nil {
+		t.Error("expected error for wrong attribute id")
+	}
+}

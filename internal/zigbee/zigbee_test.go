@@ -1,0 +1,322 @@
+package zigbee
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wazabee/internal/ieee802154"
+)
+
+func TestATCommandRoundTrip(t *testing.T) {
+	cmd := &ATCommand{FrameID: 7, Command: "CH", Param: []byte{0x14}}
+	payload, err := cmd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseATCommand(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameID != 7 || got.Command != "CH" || !bytes.Equal(got.Param, []byte{0x14}) {
+		t.Errorf("ParseATCommand = %+v", got)
+	}
+}
+
+func TestATCommandValidation(t *testing.T) {
+	if _, err := (&ATCommand{Command: "CHX"}).Encode(); err == nil {
+		t.Error("expected error for three-letter command")
+	}
+	if _, err := ParseATCommand([]byte{0x10, 1, 'C', 'H'}); !errors.Is(err, ErrNotATCommand) {
+		t.Error("expected ErrNotATCommand for wrong frame type")
+	}
+	if _, err := ParseATCommand([]byte{0x17}); !errors.Is(err, ErrNotATCommand) {
+		t.Error("expected ErrNotATCommand for truncated payload")
+	}
+}
+
+func TestATResponseRoundTrip(t *testing.T) {
+	resp := &ATResponse{FrameID: 3, Command: "CH", Status: 0}
+	payload, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseATResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameID != 3 || got.Command != "CH" || got.Status != 0 {
+		t.Errorf("ParseATResponse = %+v", got)
+	}
+	if _, err := ParseATResponse([]byte{1, 2}); err == nil {
+		t.Error("expected error for short payload")
+	}
+	if _, err := (&ATResponse{Command: "C"}).Encode(); err == nil {
+		t.Error("expected error for short command")
+	}
+}
+
+func TestSensorPayloadRoundTrip(t *testing.T) {
+	p := SensorPayload(0xbeef)
+	v, err := ParseSensorPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xbeef {
+		t.Errorf("value = %#x, want 0xbeef", v)
+	}
+	if _, err := ParseSensorPayload([]byte{0x99, 1, 2}); err == nil {
+		t.Error("expected error for wrong frame type")
+	}
+}
+
+func TestSensorPeriodicReadings(t *testing.T) {
+	s := NewSensor()
+	f1, err := s.NextDataFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.NextDataFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := ParseSensorPayload(f1.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ParseSensorPayload(f2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1+1 {
+		t.Errorf("readings %d then %d, want increment", v1, v2)
+	}
+	if f2.Seq != f1.Seq+1 {
+		t.Error("sequence numbers must increment")
+	}
+	if f1.DestAddr != DefaultCoordinator || f1.SrcAddr != DefaultSensor || f1.DestPAN != DefaultPAN {
+		t.Errorf("addressing = %+v", f1)
+	}
+	if !f1.AckRequest {
+		t.Error("sensor data must request acknowledgement")
+	}
+}
+
+func TestSensorAppliesChannelChange(t *testing.T) {
+	s := NewSensor()
+	cmdPayload, err := (&ATCommand{FrameID: 9, Command: "CH", Param: []byte{20}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spoofed as coming from the coordinator, as the attack does.
+	frame := ieee802154.NewDataFrame(1, s.PAN, s.Addr, s.CoordAddr, cmdPayload, false)
+	reply, err := s.Handle(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Channel != 20 {
+		t.Errorf("sensor channel = %d, want 20", s.Channel)
+	}
+	if reply == nil {
+		t.Fatal("expected AT response")
+	}
+	resp, err := ParseATResponse(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 0 || resp.FrameID != 9 {
+		t.Errorf("AT response = %+v", resp)
+	}
+}
+
+func TestSensorRejectsBadChannelChange(t *testing.T) {
+	s := NewSensor()
+	cmdPayload, _ := (&ATCommand{FrameID: 1, Command: "CH", Param: []byte{99}}).Encode()
+	frame := ieee802154.NewDataFrame(1, s.PAN, s.Addr, s.CoordAddr, cmdPayload, false)
+	reply, err := s.Handle(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Channel != DefaultChannel {
+		t.Error("invalid channel must not be applied")
+	}
+	resp, err := ParseATResponse(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == 0 {
+		t.Error("invalid parameter must report a non-zero status")
+	}
+}
+
+func TestSensorIgnoresUnrelatedFrames(t *testing.T) {
+	s := NewSensor()
+	other := ieee802154.NewDataFrame(1, s.PAN, 0x9999, s.CoordAddr, []byte{1}, false)
+	reply, err := s.Handle(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != nil {
+		t.Error("sensor replied to a frame for another node")
+	}
+	if _, err := s.Handle(nil); err == nil {
+		t.Error("expected error for nil frame")
+	}
+	unsupported, _ := (&ATCommand{FrameID: 1, Command: "ID"}).Encode()
+	frame := ieee802154.NewDataFrame(1, s.PAN, s.Addr, s.CoordAddr, unsupported, false)
+	reply, err = s.Handle(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseATResponse(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == 0 {
+		t.Error("unsupported command must report a non-zero status")
+	}
+}
+
+func TestCoordinatorRecordsAndAcks(t *testing.T) {
+	c := NewCoordinator()
+	frame := ieee802154.NewDataFrame(5, c.PAN, c.Addr, DefaultSensor, SensorPayload(321), true)
+	reply, err := c.Handle(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Readings) != 1 || c.Readings[0].Value != 321 || c.Readings[0].Src != DefaultSensor {
+		t.Errorf("readings = %+v", c.Readings)
+	}
+	if reply == nil || reply.Type != ieee802154.FrameAck || reply.Seq != 5 {
+		t.Errorf("reply = %+v, want ACK seq 5", reply)
+	}
+	last, ok := c.LastReading()
+	if !ok || last.Value != 321 {
+		t.Errorf("LastReading = %+v, %v", last, ok)
+	}
+}
+
+func TestCoordinatorAnswersBeaconRequest(t *testing.T) {
+	c := NewCoordinator()
+	reply, err := c.Handle(ieee802154.NewBeaconRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply == nil || reply.Type != ieee802154.FrameBeacon {
+		t.Fatalf("reply = %+v, want beacon", reply)
+	}
+	if reply.SrcPAN != DefaultPAN || reply.SrcAddr != DefaultCoordinator {
+		t.Errorf("beacon source = %#x/%#x", reply.SrcPAN, reply.SrcAddr)
+	}
+}
+
+func TestCoordinatorIgnoresForeignTraffic(t *testing.T) {
+	c := NewCoordinator()
+	foreign := ieee802154.NewDataFrame(1, 0x9999, c.Addr, 2, SensorPayload(1), true)
+	reply, err := c.Handle(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != nil || len(c.Readings) != 0 {
+		t.Error("coordinator reacted to a foreign PAN")
+	}
+	if _, ok := c.LastReading(); ok {
+		t.Error("LastReading on empty log reported ok")
+	}
+	if _, err := c.Handle(nil); err == nil {
+		t.Error("expected error for nil frame")
+	}
+}
+
+func TestSimulationStepDeliversToCoordinatorAndAttacker(t *testing.T) {
+	sim, err := NewSimulation(1, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := sim.Step(DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator recorded the reading.
+	if len(sim.Coordinator.Readings) != 1 {
+		t.Fatalf("coordinator readings = %d, want 1", len(sim.Coordinator.Readings))
+	}
+	// Attacker's capture contains the frame (legit PHY can decode it).
+	dem, err := sim.PHY.Demodulate(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ieee802154.ParseMACFrame(dem.PPDU.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.SrcAddr != DefaultSensor {
+		t.Errorf("captured source = %#x, want sensor", frame.SrcAddr)
+	}
+}
+
+func TestSimulationStepOffChannelHearsNothing(t *testing.T) {
+	sim, err := NewSimulation(2, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := sim.Capture(20) // sensor is on 14
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.PHY.Demodulate(capture); !errors.Is(err, ieee802154.ErrNoSync) {
+		t.Errorf("off-channel capture decoded: %v", err)
+	}
+}
+
+func TestSimulationExchangeBeaconRequest(t *testing.T) {
+	sim, err := NewSimulation(3, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ieee802154.NewBeaconRequest(1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu, err := ieee802154.NewPPDU(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := sim.PHY.Modulate(ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// On the network's channel the coordinator answers with a beacon.
+	reply, err := sim.Exchange(sig, DefaultChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem, err := sim.PHY.Demodulate(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ieee802154.ParseMACFrame(dem.PPDU.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != ieee802154.FrameBeacon || frame.SrcPAN != DefaultPAN {
+		t.Errorf("reply = %+v, want beacon from PAN 0x1234", frame)
+	}
+
+	// On an empty channel nothing answers.
+	silent, err := sim.Exchange(sig, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.PHY.Demodulate(silent); !errors.Is(err, ieee802154.ErrNoSync) {
+		t.Error("empty channel produced a decodable reply")
+	}
+
+	if _, err := sim.Exchange(nil, DefaultChannel); err == nil {
+		t.Error("expected error for empty transmission")
+	}
+	if _, err := sim.Exchange(sig, 99); err == nil {
+		t.Error("expected error for invalid channel")
+	}
+}

@@ -1,0 +1,208 @@
+// Package wazabee is a software reproduction of "WazaBee: attacking
+// Zigbee networks by diverting Bluetooth Low Energy chips" (Cayre et al.,
+// IEEE/IFIP DSN 2021).
+//
+// The library implements the full attack over a signal-level simulation
+// of the 2.4 GHz band: a BLE GFSK modem (LE 1M / LE 2M / ESB 2M), an IEEE
+// 802.15.4 O-QPSK modem with DSSS, the PN↔MSK correspondence at the heart
+// of the attack (Algorithm 1 and Table I/II of the paper), per-chip radio
+// front-end models, a radio medium with noise, CFO and WiFi interference,
+// and the two end-to-end attack scenarios (smartphone advertising
+// injection and the BLE-tracker Zigbee takeover).
+//
+// This file is the curated public surface; the implementation lives in
+// the internal packages, one per subsystem (see DESIGN.md for the map).
+package wazabee
+
+import (
+	"time"
+
+	"wazabee/internal/attack"
+	"wazabee/internal/bitstream"
+	"wazabee/internal/chip"
+	"wazabee/internal/core"
+	"wazabee/internal/experiment"
+	"wazabee/internal/ids"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/modsim"
+	"wazabee/internal/zigbee"
+)
+
+// Core attack types.
+type (
+	// Transmitter is the WazaBee transmission primitive: a diverted BLE
+	// GFSK modulator emitting IEEE 802.15.4 frames.
+	Transmitter = core.Transmitter
+	// Receiver is the WazaBee reception primitive: a diverted BLE
+	// receiver despreading 802.15.4 frames by Hamming distance.
+	Receiver = core.Receiver
+	// Chip models a radio front end (nRF52832, CC1352-R1, nRF51822,
+	// RZUSBStick) with its capabilities and analog quality.
+	Chip = chip.Model
+	// ChannelMapping is one row of Table II (Zigbee/BLE common
+	// channels).
+	ChannelMapping = core.ChannelMapping
+	// CorrespondenceEntry is one row of the PN/MSK table the attack is
+	// built on.
+	CorrespondenceEntry = core.CorrespondenceEntry
+	// Bits is an on-air bit (or chip) sequence.
+	Bits = bitstream.Bits
+	// PPDU is an IEEE 802.15.4 PHY frame.
+	PPDU = ieee802154.PPDU
+	// MACFrame is an IEEE 802.15.4 MAC frame.
+	MACFrame = ieee802154.MACFrame
+)
+
+// Chip catalogue of the paper's experiments.
+var (
+	NRF52832   = chip.NRF52832
+	CC1352R1   = chip.CC1352R1
+	NRF51822   = chip.NRF51822
+	RZUSBStick = chip.RZUSBStick
+)
+
+// NewTransmitter builds the WazaBee transmission primitive on a chip's
+// radio at the given baseband oversampling factor (samples per 2 Mbit/s
+// symbol).
+func NewTransmitter(model Chip, samplesPerSymbol int) (*Transmitter, error) {
+	return model.NewWazaBeeTransmitter(samplesPerSymbol)
+}
+
+// NewReceiver builds the WazaBee reception primitive on a chip's radio.
+func NewReceiver(model Chip, samplesPerSymbol int) (*Receiver, error) {
+	return model.NewWazaBeeReceiver(samplesPerSymbol)
+}
+
+// ConvertPNSequence is Algorithm 1 of the paper: it re-encodes a 32-chip
+// O-QPSK PN sequence as the 31-bit MSK sequence of its phase rotations.
+func ConvertPNSequence(pn Bits) (Bits, error) {
+	return core.ConvertPNSequence(pn)
+}
+
+// ConvertChipStream generalises Algorithm 1 to whole frames.
+func ConvertChipStream(chips Bits) (Bits, error) {
+	return core.ConvertChipStream(chips)
+}
+
+// CorrespondenceTable returns the 16-row PN/MSK table.
+func CorrespondenceTable() ([16]CorrespondenceEntry, error) {
+	return core.CorrespondenceTable()
+}
+
+// CommonChannels returns Table II: the Zigbee channels sharing a centre
+// frequency with a BLE channel.
+func CommonChannels() []ChannelMapping {
+	return core.CommonChannels()
+}
+
+// AccessAddress returns the 32-bit value a diverted BLE chip loads as its
+// Access Address to detect 802.15.4 preambles.
+func AccessAddress() uint32 {
+	return core.AccessAddress()
+}
+
+// NewFrame wraps a MAC-level PSDU (including FCS) in a PPDU.
+func NewFrame(psdu []byte) (*PPDU, error) {
+	return ieee802154.NewPPDU(psdu)
+}
+
+// NewDataFrame builds an intra-PAN 802.15.4 data frame; Seal encodes it
+// into a PSDU with a valid FCS.
+func NewDataFrame(seq uint8, pan, dest, src uint16, payload []byte, ackRequest bool) *MACFrame {
+	return ieee802154.NewDataFrame(seq, pan, dest, src, payload, ackRequest)
+}
+
+// Experiment harness (Table III).
+type (
+	// ExperimentConfig parameterises a Table III run.
+	ExperimentConfig = experiment.Config
+	// ExperimentResult is one measured column of Table III.
+	ExperimentResult = experiment.Result
+	// Side selects the assessed primitive (reception or transmission).
+	Side = experiment.Side
+)
+
+// Sides of the Table III experiment.
+const (
+	Reception    = experiment.Reception
+	Transmission = experiment.Transmission
+)
+
+// DefaultExperimentConfig reproduces the paper's benchmark setup.
+func DefaultExperimentConfig() ExperimentConfig {
+	return experiment.DefaultConfig()
+}
+
+// RunExperiment executes the Table III experiment for one chip and side.
+func RunExperiment(cfg ExperimentConfig, model Chip, side Side) (*ExperimentResult, error) {
+	return experiment.Run(cfg, model, side)
+}
+
+// FormatExperiment renders a result next to the published Table III.
+func FormatExperiment(r *ExperimentResult) string {
+	return experiment.FormatComparison(r)
+}
+
+// Attack scenarios.
+type (
+	// Tracker is the scenario B attacker (four-step Zigbee takeover
+	// from a compromised BLE wearable).
+	Tracker = attack.Tracker
+	// Smartphone is the scenario A attacker (frame injection through
+	// the extended advertising API of an unrooted phone).
+	Smartphone = attack.Smartphone
+	// VictimNetwork is the simulated XBee domotic network of the
+	// paper's experimental setup.
+	VictimNetwork = zigbee.Simulation
+)
+
+// NewVictimNetwork builds the default victim network (PAN 0x1234, sensor
+// 0x0063 reporting to coordinator 0x0042 on channel 14) over a seeded
+// radio medium.
+func NewVictimNetwork(seed int64, samplesPerChip int, snrDB float64) (*VictimNetwork, error) {
+	return zigbee.NewSimulation(seed, samplesPerChip, snrDB)
+}
+
+// LiveNetwork runs a victim network on a real-time ticker, streaming
+// captures to a channel (see zigbee.StartLive).
+type LiveNetwork = zigbee.LiveNetwork
+
+// StartLiveNetwork spawns the network's reporting loop; stop it with
+// Shutdown.
+func StartLiveNetwork(net *VictimNetwork, interval time.Duration, captureChannel int) (*LiveNetwork, error) {
+	return zigbee.StartLive(net, interval, captureChannel)
+}
+
+// NewTracker wires a scenario B attacker to its radio environment.
+func NewTracker(tx *Transmitter, rx *Receiver, air attack.Air) (*Tracker, error) {
+	return attack.NewTracker(tx, rx, air)
+}
+
+// NewSmartphone builds the scenario A attacker.
+func NewSmartphone(samplesPerSymbol int) (*Smartphone, error) {
+	return attack.NewSmartphone(samplesPerSymbol)
+}
+
+// Counter-measures and prospective analysis (sections VII and VIII).
+type (
+	// IDSMonitor is the section VII radio-monitoring counter-measure:
+	// it inspects captures for cross-technology attack signatures.
+	IDSMonitor = ids.Monitor
+	// IDSVerdict is the result of one inspection.
+	IDSVerdict = ids.Verdict
+	// PivotScore is one modulation-pivotability survey row.
+	PivotScore = modsim.PairScore
+)
+
+// NewIDSMonitor builds the radio watchdog at the given oversampling
+// factor.
+func NewIDSMonitor(samplesPerChip int) (*IDSMonitor, error) {
+	return ids.NewMonitor(samplesPerChip)
+}
+
+// SurveyPivotability scores a catalogue of GFSK-family radios against
+// the 802.15.4 O-QPSK target — the similarity metric the paper's future
+// work calls for.
+func SurveyPivotability(samplesPerSymbol int, seed int64) ([]PivotScore, error) {
+	return modsim.SurveyAgainstOQPSK(samplesPerSymbol, seed)
+}

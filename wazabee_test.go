@@ -1,0 +1,176 @@
+package wazabee
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/ieee802154"
+)
+
+func sealPSDU(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	fcs := bitstream.FCS16Bytes(bitstream.FCS16(payload))
+	return append(append([]byte{}, payload...), fcs[0], fcs[1])
+}
+
+func TestFacadeLoopback(t *testing.T) {
+	tx, err := NewTransmitter(NRF52832(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(CC1352R1(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := sealPSDU(t, []byte{0x01, 0x02, 0x03, 0x04, 0x05})
+	sig, err := tx.ModulatePSDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := sig.Pad(120, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem, err := rx.Receive(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dem.PPDU.PSDU, psdu) {
+		t.Error("facade loopback PSDU mismatch")
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	table, err := CorrespondenceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table[0].PN) != 32 || len(table[0].MSK) != 31 {
+		t.Error("correspondence table malformed")
+	}
+	channels := CommonChannels()
+	if len(channels) != 8 {
+		t.Errorf("CommonChannels = %d rows, want 8", len(channels))
+	}
+	if AccessAddress() == 0 {
+		t.Error("access address is zero")
+	}
+	msk, err := ConvertPNSequence(table[5].PN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msk.String() != table[5].MSK.String() {
+		t.Error("ConvertPNSequence disagrees with table")
+	}
+	stream, err := ConvertChipStream(append(Bits{}, table[0].PN...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 31 {
+		t.Errorf("ConvertChipStream length = %d", len(stream))
+	}
+}
+
+func TestFacadeFrameHelpers(t *testing.T) {
+	frame := NewDataFrame(1, 0x1234, 0x0042, 0x0063, []byte{9}, false)
+	psdu, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppdu, err := NewFrame(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ieee802154.ParseMACFrame(ppdu.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DestAddr != 0x0042 {
+		t.Error("frame helper addressing lost")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.FramesPerChannel = 2
+	cfg.WiFi = false
+	res, err := RunExperiment(cfg, CC1352R1(), Reception)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ValidRate() < 0.95 {
+		t.Errorf("facade experiment valid rate = %.3f", res.ValidRate())
+	}
+	if FormatExperiment(res) == "" {
+		t.Error("empty experiment report")
+	}
+}
+
+func TestFacadeCountermeasures(t *testing.T) {
+	monitor, err := NewIDSMonitor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monitor.FingerprintThreshold <= 0 {
+		t.Error("monitor has no fingerprint threshold")
+	}
+	scores, err := SurveyPivotability(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) < 5 {
+		t.Errorf("pivotability survey returned %d rows", len(scores))
+	}
+}
+
+func TestFacadeLiveNetwork(t *testing.T) {
+	net, err := NewVictimNetwork(5, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := StartLiveNetwork(net, time.Millisecond, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-live.Captures():
+		if !ok {
+			t.Fatalf("stream closed: %v", live.Err())
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no capture within deadline")
+	}
+	live.Shutdown()
+}
+
+func TestFacadeScenarios(t *testing.T) {
+	net, err := NewVictimNetwork(77, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NRF51822()
+	tx, err := NewTransmitter(model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := NewTracker(tx, rx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := tracker.ActiveScan([]int{13, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Channel != 14 {
+		t.Errorf("scan channel = %d", info.Channel)
+	}
+	if _, err := NewSmartphone(8); err != nil {
+		t.Fatal(err)
+	}
+}
