@@ -22,6 +22,7 @@ import (
 	"wazabee/internal/ids"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/modsim"
+	"wazabee/internal/obs"
 	"wazabee/internal/zigbee"
 )
 
@@ -230,6 +231,19 @@ func BenchmarkScenarioB(b *testing.B) {
 	b.ReportMetric(100*float64(succeeded)/float64(b.N), "success%")
 }
 
+// reportStageMetrics attaches the per-stage mean timings recorded in reg
+// to the benchmark output, so `go test -bench` shows where inside the
+// primitive the time goes.
+func reportStageMetrics(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name != obs.StageSecondsMetric || s.Count == 0 {
+			continue
+		}
+		b.ReportMetric(s.Mean*1e9, s.Labels["stage"]+"-ns/op")
+	}
+}
+
 // BenchmarkWazaBeeTX measures the transmission primitive's throughput
 // (frame modulation cost).
 func BenchmarkWazaBeeTX(b *testing.B) {
@@ -237,6 +251,8 @@ func BenchmarkWazaBeeTX(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	tx.Obs = reg
 	ppdu := benchPPDU(b, []byte{0x41, 0x88, 0x01, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x2a})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -244,6 +260,7 @@ func BenchmarkWazaBeeTX(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportStageMetrics(b, reg)
 }
 
 // BenchmarkWazaBeeRX measures the reception primitive's demodulation and
@@ -266,12 +283,15 @@ func BenchmarkWazaBeeRX(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	rx.Obs = reg
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rx.Receive(padded); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportStageMetrics(b, reg)
 }
 
 // BenchmarkSNRSweep measures the extension experiment: the sensitivity

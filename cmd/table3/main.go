@@ -3,15 +3,29 @@
 // Zigbee channel, on the nRF52832 and CC1352-R1 models, under WiFi
 // interference on channels 6 and 11. It prints the measured rows next to
 // the published ones.
+//
+// With -metrics the run's full telemetry is printed afterwards: the
+// per-channel classification counters, the pipeline's sync/CRC failure
+// counters and chip-distance histograms, per-stage timing histograms,
+// and a span trace of one instrumented TX→medium→RX round trip. With
+// -metrics-addr the same registry is additionally served at /metrics
+// (Prometheus text; ?format=json for the JSON snapshot) next to
+// net/http/pprof, and the process stays alive for scraping.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"wazabee/internal/chip"
 	"wazabee/internal/experiment"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
+	"wazabee/internal/radio"
+	"wazabee/internal/zigbee"
 )
 
 func main() {
@@ -26,6 +40,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	side := flag.String("side", "both", "primitive to assess: rx, tx or both")
 	wifi := flag.Bool("wifi", true, "enable WiFi interference on channels 6 and 11")
+	metrics := flag.Bool("metrics", false, "print the telemetry snapshot and a traced round trip after the run")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and net/http/pprof on this address (e.g. :9090); implies -metrics and keeps the process alive")
 	flag.Parse()
 
 	var sides []experiment.Side
@@ -40,10 +56,30 @@ func run() error {
 		return fmt.Errorf("invalid -side %q (rx, tx, both)", *side)
 	}
 
+	reg := obs.NewRegistry()
+	// Pre-register the failure families at zero so a clean run still
+	// exports them — absence of a series should mean "not instrumented",
+	// never "nothing failed".
+	for _, decoder := range []string{"wazabee", "oqpsk"} {
+		reg.Counter("wazabee_sync_failures_total", "decoder", decoder)
+		reg.Counter("wazabee_crc_checks_total", "decoder", decoder, "result", "fail")
+	}
+	if *metricsAddr != "" {
+		*metrics = true
+		http.Handle("/metrics", reg)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "table3: metrics server:", err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/pprof on %s\n\n", *metricsAddr)
+	}
+
 	cfg := experiment.DefaultConfig()
 	cfg.FramesPerChannel = *frames
 	cfg.Seed = *seed
 	cfg.WiFi = *wifi
+	cfg.Obs = reg
 
 	for _, model := range []chip.Model{chip.NRF52832(), chip.CC1352R1()} {
 		for _, s := range sides {
@@ -54,5 +90,131 @@ func run() error {
 			fmt.Println(experiment.FormatComparison(res))
 		}
 	}
+
+	if *metrics {
+		if err := printRoundTripTrace(reg, *seed); err != nil {
+			return err
+		}
+		fmt.Println("=== telemetry snapshot (Prometheus text format) ===")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+		printStageQuantiles(reg)
+	}
+	if *metricsAddr != "" {
+		fmt.Printf("\nstill serving /metrics on %s — Ctrl-C to exit\n", *metricsAddr)
+		select {}
+	}
 	return nil
+}
+
+// printRoundTripTrace sends one frame through each primitive with a span
+// trace attached — the worked example of what the per-stage telemetry
+// measures — and prints both flame trees.
+func printRoundTripTrace(reg *obs.Registry, seed int64) error {
+	const sps = 8
+	model := chip.NRF52832()
+	stick := chip.RZUSBStick()
+	channel := zigbee.DefaultChannel
+	freq, err := ieee802154.ChannelFrequencyMHz(channel)
+	if err != nil {
+		return err
+	}
+
+	frame := ieee802154.NewDataFrame(1, zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+		zigbee.DefaultSensor, zigbee.SensorPayload(0x2a), false)
+	psdu, err := frame.Encode()
+	if err != nil {
+		return err
+	}
+	ppdu, err := ieee802154.NewPPDU(psdu)
+	if err != nil {
+		return err
+	}
+
+	medium, err := radio.NewMedium(float64(sps)*ieee802154.ChipRate, seed)
+	if err != nil {
+		return err
+	}
+	zigbeePHY, err := stick.NewZigbeePHY(sps)
+	if err != nil {
+		return err
+	}
+	tx, err := model.NewWazaBeeTransmitter(sps)
+	if err != nil {
+		return err
+	}
+	rx, err := model.NewWazaBeeReceiver(sps)
+	if err != nil {
+		return err
+	}
+
+	tr := obs.NewTrace(fmt.Sprintf("one frame per side, %s <-> %s, channel %d", model.Name, stick.Name, channel))
+	tx.Obs, tx.Trace = reg, tr
+	rx.Obs, rx.Trace = reg, tr
+	medium.Obs, medium.Trace = reg, tr
+	zigbeePHY.Obs, zigbeePHY.Trace = reg, tr
+	link := radio.Link{SNRdB: 12, LeadSamples: 40 * sps, LagSamples: 20 * sps}
+
+	// Transmission side: the diverted BLE chip transmits, the
+	// legitimate 802.15.4 radio receives.
+	span := tr.Start("transmission").SetAttr("channel", channel)
+	sig, err := tx.Modulate(ppdu)
+	if err != nil {
+		return err
+	}
+	capture, err := medium.Deliver(sig, freq, freq, link)
+	if err != nil {
+		return err
+	}
+	if _, err := zigbeePHY.Demodulate(capture); err != nil {
+		span.SetAttr("result", err.Error())
+	} else {
+		span.SetAttr("result", "received")
+	}
+	span.End()
+
+	// Reception side: the legitimate radio transmits, the diverted BLE
+	// chip locks on via the MSK Access Address and despreads.
+	span = tr.Start("reception").SetAttr("channel", channel)
+	sig, err = zigbeePHY.Modulate(ppdu)
+	if err != nil {
+		return err
+	}
+	capture, err = medium.Deliver(sig, freq, freq, link)
+	if err != nil {
+		return err
+	}
+	if dem, err := rx.Receive(capture); err != nil {
+		span.SetAttr("result", err.Error())
+	} else {
+		span.SetAttr("result", "received").SetAttr("worst_chip_distance", dem.WorstChipDistance)
+	}
+	span.End()
+
+	fmt.Println("=== round-trip span trace ===")
+	fmt.Print(tr.Tree())
+	fmt.Println()
+	return nil
+}
+
+// printStageQuantiles summarises the per-stage timing histograms as a
+// small table — the human-readable companion of the raw bucket dump.
+func printStageQuantiles(reg *obs.Registry) {
+	rows := false
+	for _, s := range reg.Snapshot() {
+		if s.Name != obs.StageSecondsMetric || s.Count == 0 {
+			continue
+		}
+		if !rows {
+			fmt.Println("\n=== per-stage timings ===")
+			fmt.Printf("%-14s %10s %12s %12s %12s\n", "stage", "calls", "mean", "p50", "p99")
+			rows = true
+		}
+		fmt.Printf("%-14s %10d %12s %12s %12s\n",
+			s.Labels["stage"], s.Count,
+			fmt.Sprintf("%.1fµs", s.Mean*1e6),
+			fmt.Sprintf("%.1fµs", s.Quantiles["p50"]*1e6),
+			fmt.Sprintf("%.1fµs", s.Quantiles["p99"]*1e6))
+	}
 }

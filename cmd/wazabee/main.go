@@ -25,6 +25,7 @@ import (
 	"wazabee/internal/core"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 	"wazabee/internal/radio"
 	"wazabee/internal/zigbee"
 )
@@ -140,6 +141,7 @@ func overAir(args []string, wazaTransmits bool) error {
 	payloadHex := fs.String("payload", "cafe0042", "MAC payload bytes (hex)")
 	snr := fs.Float64("snr", 12, "link SNR in dB")
 	seed := fs.Int64("seed", 1, "random seed")
+	metrics := fs.Bool("metrics", false, "print the span trace and telemetry snapshot after the round trip")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +168,20 @@ func overAir(args []string, wazaTransmits bool) error {
 		return err
 	}
 
+	// With -metrics, every pipeline component reports into a private
+	// registry and span trace, printed once the round trip is done.
+	var reg *obs.Registry
+	var tr *obs.Trace
+	if *metrics {
+		reg = obs.NewRegistry()
+		direction := "rx"
+		if wazaTransmits {
+			direction = "tx"
+		}
+		tr = obs.NewTrace(fmt.Sprintf("wazabee %s, %s, channel %d", direction, model.Name, *channel))
+		medium.Obs, medium.Trace = reg, tr
+	}
+
 	frame := ieee802154.NewDataFrame(1, zigbee.DefaultPAN, zigbee.DefaultCoordinator, zigbee.DefaultSensor, payload, false)
 	psdu, err := frame.Encode()
 	if err != nil {
@@ -181,6 +197,7 @@ func overAir(args []string, wazaTransmits bool) error {
 	if err != nil {
 		return err
 	}
+	zigbeePHY.Obs, zigbeePHY.Trace = reg, tr
 
 	var sig dsp.IQ
 	if wazaTransmits {
@@ -188,6 +205,7 @@ func overAir(args []string, wazaTransmits bool) error {
 		if err != nil {
 			return err
 		}
+		tx.Obs, tx.Trace = reg, tr
 		sig, err = tx.Modulate(ppdu)
 		if err != nil {
 			return err
@@ -207,10 +225,23 @@ func overAir(args []string, wazaTransmits bool) error {
 		return err
 	}
 
+	// The failure case is precisely when the telemetry matters, so dump
+	// it before surfacing a receive error.
+	dumpMetrics := func() error {
+		if !*metrics {
+			return nil
+		}
+		fmt.Println("\n=== span trace ===")
+		fmt.Print(tr.Tree())
+		fmt.Println("\n=== telemetry snapshot (Prometheus text format) ===")
+		return reg.WritePrometheus(os.Stdout)
+	}
+
 	var dem *ieee802154.Demodulated
 	if wazaTransmits {
 		dem, err = zigbeePHY.Demodulate(capture)
 		if err != nil {
+			dumpMetrics()
 			return fmt.Errorf("802.15.4 RX: %w", err)
 		}
 		fmt.Println("802.15.4 RX (RZUSBStick): frame received")
@@ -219,8 +250,10 @@ func overAir(args []string, wazaTransmits bool) error {
 		if err != nil {
 			return err
 		}
+		rx.Obs, rx.Trace = reg, tr
 		dem, err = rx.Receive(capture)
 		if err != nil {
+			dumpMetrics()
 			return fmt.Errorf("WazaBee RX: %w", err)
 		}
 		fmt.Printf("WazaBee RX on %s: frame received\n", model.Name)
@@ -235,5 +268,5 @@ func overAir(args []string, wazaTransmits bool) error {
 	}
 	fmt.Printf("  MAC: %v seq=%d PAN=%#04x dest=%#04x src=%#04x payload=%x\n",
 		rxFrame.Type, rxFrame.Seq, rxFrame.DestPAN, rxFrame.DestAddr, rxFrame.SrcAddr, rxFrame.Payload)
-	return nil
+	return dumpMetrics()
 }

@@ -76,5 +76,10 @@ func run() error {
 			value, bitstream.CheckFCS(dem.PPDU.PSDU))
 	}
 	fmt.Printf("\ncaptured %d/%d sensor reports without owning any 802.15.4 hardware\n", captured, periods)
+
+	// The receiver's Obs field was never set, so it reported into the
+	// process-wide default registry — dump what the pipeline observed.
+	fmt.Println("\n=== telemetry snapshot (wazabee.Metrics, Prometheus text format) ===")
+	fmt.Print(wazabee.Metrics().PrometheusText())
 	return nil
 }

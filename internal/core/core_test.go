@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -9,6 +10,7 @@ import (
 	"wazabee/internal/bitstream"
 	"wazabee/internal/ble"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 )
 
 func TestConvertPNSequenceLength(t *testing.T) {
@@ -298,8 +300,104 @@ func TestReceiverNoFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rx.Receive(nil); err != ieee802154.ErrNoSync {
-		t.Errorf("error = %v, want ErrNoSync", err)
+	_, err = rx.Receive(nil)
+	if !errors.Is(err, ieee802154.ErrNoSync) {
+		t.Errorf("error = %v, want ErrNoSync in the chain", err)
+	}
+	// The underlying demodulator failure must survive the wrapping:
+	// a no-preamble miss is distinguishable from a bare sentinel.
+	if err == nil || err.Error() == ieee802154.ErrNoSync.Error() {
+		t.Errorf("error %q lost its underlying cause", err)
+	}
+}
+
+// TestReceiverErrorCauses checks each "not received" class keeps its
+// distinguishing cause while still matching ErrNoSync.
+func TestReceiverErrorCauses(t *testing.T) {
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := tx.ModulatePSDU(testPSDU(t, []byte{1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := sig.Pad(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quality gate: an absurdly strict gate may drop even a clean frame;
+	// when it does, the chain must still match ErrNoSync.
+	rx.MaxChipDistance = 1
+	rx.Obs = obs.NewRegistry()
+	if _, err := rx.Receive(padded); err != nil && !errors.Is(err, ieee802154.ErrNoSync) {
+		t.Errorf("gate drop error = %v, want ErrNoSync in chain", err)
+	}
+	// Truncated capture after a good preamble: mid-frame abort is still
+	// ErrNoSync but the message differs from the correlation failure.
+	rx.MaxChipDistance = 15
+	cut := padded[:len(padded)*2/3]
+	if _, err := rx.Receive(cut); err != nil && !errors.Is(err, ieee802154.ErrNoSync) {
+		t.Errorf("truncated frame error = %v, want ErrNoSync in chain", err)
+	}
+}
+
+// TestReceiverMetrics checks the telemetry wiring: a successful receive
+// and a failed one land in the attached registry.
+func TestReceiverMetrics(t *testing.T) {
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace("test")
+	rx.Obs, rx.Trace = reg, tr
+	tx.Obs = reg
+
+	sig, err := tx.ModulatePSDU(testPSDU(t, []byte{0xca, 0xfe}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := sig.Pad(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(padded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(nil); err == nil {
+		t.Fatal("expected failure on empty capture")
+	}
+
+	if got := reg.Counter("wazabee_frames_transmitted_total").Value(); got != 1 {
+		t.Errorf("frames transmitted = %d, want 1", got)
+	}
+	if got := reg.Counter("wazabee_frames_received_total", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("frames received = %d, want 1", got)
+	}
+	if got := reg.Counter("wazabee_sync_failures_total", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("sync failures = %d, want 1", got)
+	}
+	if got := reg.Counter("wazabee_crc_checks_total", "decoder", "wazabee", "result", "pass").Value(); got != 1 {
+		t.Errorf("crc passes = %d, want 1", got)
+	}
+	h := reg.Histogram("wazabee_worst_chip_distance", nil, "decoder", "wazabee")
+	if h.Count() != 1 {
+		t.Errorf("chip distance observations = %d, want 1", h.Count())
+	}
+	if reg.Histogram(obs.StageSecondsMetric, nil, "stage", "aa-correlate").Count() < 1 {
+		t.Error("no aa-correlate stage timings recorded")
+	}
+	if len(tr.Roots()) == 0 {
+		t.Error("no spans recorded on the attached trace")
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"wazabee/internal/ble"
+	"wazabee/internal/bitstream"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 )
 
 // Receiver is the WazaBee reception primitive: a BLE radio configured with
@@ -24,6 +26,15 @@ type Receiver struct {
 	// received, like a correlation-threshold receiver aborting. Zero
 	// disables the gate.
 	MaxChipDistance int
+
+	// Obs receives the receiver's metrics (frames, sync failures,
+	// chip-distance histograms, stage timings); nil falls back to the
+	// process default registry.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, records a span per pipeline stage
+	// (aa-correlate, despread) for each Receive call.
+	Trace *obs.Trace
 }
 
 // NewReceiver wraps a BLE PHY; like the transmitter it requires the 2
@@ -45,25 +56,52 @@ func NewReceiver(phy *ble.PHY) (*Receiver, error) {
 
 // Receive demodulates a capture with the BLE GFSK receiver, locks onto the
 // 802.15.4 preamble via the MSK Access Address, splits the bit stream into
-// 31-bit blocks and despreads each block to the nearest PN sequence. It
-// returns ieee802154.ErrNoSync when no frame is present.
+// 31-bit blocks and despreads each block to the nearest PN sequence. Every
+// returned "not received" error satisfies errors.Is(err, ErrNoSync), with
+// the underlying cause (no preamble, mid-frame abort, quality gate) kept
+// in the chain so telemetry and callers can tell them apart.
 func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
+	reg := obs.Or(r.Obs)
+
+	endCorrelate := obs.Stage(reg, r.Trace, "aa-correlate")
 	cap, err := r.phy.DemodulateFrame(sig, AccessPattern(), r.MaxPatternErrors)
+	endCorrelate()
 	if err != nil {
+		reg.Counter("wazabee_sync_failures_total", "decoder", "wazabee").Inc()
 		// Normalise to the PHY-level sentinel so callers classify
-		// "not received" uniformly.
-		return nil, ieee802154.ErrNoSync
+		// "not received" uniformly, but keep the BLE demodulator's
+		// error as the distinguishable cause.
+		return nil, fmt.Errorf("core: access address correlation: %w: %w", ieee802154.ErrNoSync, err)
 	}
+	reg.Histogram("wazabee_aa_pattern_errors", obs.LinearBuckets(0, 1, 9), "decoder", "wazabee").
+		Observe(float64(cap.PatternErrors))
+
+	endDespread := obs.Stage(reg, r.Trace, "despread")
 	dem, err := ieee802154.DecodePPDUFromTransitions(cap.Bits, 0)
+	endDespread()
 	if err != nil {
-		return nil, err
+		reg.Counter("wazabee_despread_failures_total", "decoder", "wazabee").Inc()
+		// A mid-frame abort after a good Access Address match: still
+		// "not received", but distinguishable from a sync failure.
+		return nil, fmt.Errorf("core: despread after sync: %w", err)
 	}
+	reg.Histogram("wazabee_worst_chip_distance", obs.DistanceBuckets, "decoder", "wazabee").
+		Observe(float64(dem.WorstChipDistance))
 	if r.MaxChipDistance > 0 && dem.WorstChipDistance > r.MaxChipDistance {
-		return nil, ieee802154.ErrNoSync
+		reg.Counter("wazabee_quality_gate_drops_total", "decoder", "wazabee").Inc()
+		return nil, fmt.Errorf("core: worst chip distance %d exceeds gate %d: %w",
+			dem.WorstChipDistance, r.MaxChipDistance, ieee802154.ErrNoSync)
 	}
 	dem.SyncErrors = cap.PatternErrors
 	dem.SampleOffset = cap.SampleOffset
 	dem.CFOBias = cap.CFOBias
+
+	reg.Counter("wazabee_frames_received_total", "decoder", "wazabee").Inc()
+	result := "pass"
+	if !bitstream.CheckFCS(dem.PPDU.PSDU) {
+		result = "fail"
+	}
+	reg.Counter("wazabee_crc_checks_total", "decoder", "wazabee", "result", result).Inc()
 	return dem, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"wazabee/internal/ble"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 )
 
 // Transmitter is the WazaBee transmission primitive: it drives a BLE GFSK
@@ -14,6 +15,13 @@ import (
 // demodulates as a valid IEEE 802.15.4 frame.
 type Transmitter struct {
 	phy *ble.PHY
+
+	// Obs receives the transmitter's metrics (frames, stage timings);
+	// nil falls back to the process default registry.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, records a "modulate" span per frame.
+	Trace *obs.Trace
 }
 
 // NewTransmitter wraps a BLE PHY. The PHY must run at 2 Mbit/s (LE 2M, or
@@ -46,11 +54,19 @@ func (t *Transmitter) FrameBits(ppdu *ieee802154.PPDU) (bitstream.Bits, error) {
 // Modulate produces the complex-baseband waveform of the diverted BLE
 // radio transmitting the frame.
 func (t *Transmitter) Modulate(ppdu *ieee802154.PPDU) (dsp.IQ, error) {
+	reg := obs.Or(t.Obs)
+	end := obs.Stage(reg, t.Trace, "modulate")
+	defer end()
 	bits, err := t.FrameBits(ppdu)
 	if err != nil {
 		return nil, err
 	}
-	return t.phy.ModulateBits(bits)
+	sig, err := t.phy.ModulateBits(bits)
+	if err != nil {
+		return nil, err
+	}
+	reg.Counter("wazabee_frames_transmitted_total").Inc()
+	return sig, nil
 }
 
 // ModulatePSDU wraps a MAC-level PSDU in a PPDU and modulates it.

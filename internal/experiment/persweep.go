@@ -2,13 +2,29 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 
 	"wazabee/internal/chip"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 	"wazabee/internal/radio"
 	"wazabee/internal/zigbee"
 )
+
+// SweepMetric is the per-operating-point frame classification counter
+// family of a PER sweep: labels chip, side, snr_db and class
+// (valid | corrupted | lost).
+const SweepMetric = "wazabee_sweep_frames_total"
+
+// sweepCounter returns the classification counter of one sweep point.
+func sweepCounter(reg *obs.Registry, model chip.Model, side Side, snrDB float64, class string) *obs.Counter {
+	return reg.Counter(SweepMetric,
+		"chip", model.Name,
+		"side", side.String(),
+		"snr_db", strconv.FormatFloat(snrDB, 'g', -1, 64),
+		"class", class)
+}
 
 // SweepPoint is one operating point of a packet-error-rate sweep.
 type SweepPoint struct {
@@ -36,6 +52,10 @@ type SweepConfig struct {
 	Seed int64
 	// Channel is the Zigbee channel to run on.
 	Channel int
+	// Obs, when non-nil, receives the sweep's telemetry (per-point
+	// classification counters plus pipeline metrics), merged in when the
+	// sweep completes. Nil merges into the process default registry.
+	Obs *obs.Registry
 }
 
 // DefaultSweepConfig covers the interesting 0–14 dB region.
@@ -50,7 +70,9 @@ func DefaultSweepConfig() SweepConfig {
 }
 
 // RunSweep measures PER versus SNR for one chip model and side over a
-// clean channel (no WiFi, no CFO — pure sensitivity).
+// clean channel (no WiFi, no CFO — pure sensitivity). The per-point
+// tallies live as counters on the run's registry; the returned points
+// are read back from them.
 func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error) {
 	if len(cfg.SNRs) == 0 || cfg.FramesPerPoint < 1 {
 		return nil, fmt.Errorf("experiment: empty sweep configuration")
@@ -62,20 +84,26 @@ func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	stick := chip.RZUSBStick()
 	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
 	if err != nil {
 		return nil, err
 	}
+	zigbeePHY.Obs = reg
 	medium, err := radio.NewMedium(float64(cfg.SamplesPerChip)*ieee802154.ChipRate, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	medium.Obs = reg
 
 	out := make([]SweepPoint, 0, len(cfg.SNRs))
 	for _, snr := range cfg.SNRs {
-		point := SweepPoint{SNRdB: snr}
-		corrupted, lost := 0, 0
+		corrupted := sweepCounter(reg, model, side, snr, "corrupted")
+		lost := sweepCounter(reg, model, side, snr, "lost")
+		// Touch the valid counter so a perfect operating point still
+		// exports a full series triple.
+		valid := sweepCounter(reg, model, side, snr, "valid")
 		for i := 0; i < cfg.FramesPerPoint; i++ {
 			frame := ieee802154.NewDataFrame(uint8(i), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
 				zigbee.DefaultSensor, zigbee.SensorPayload(uint16(i)), false)
@@ -99,6 +127,7 @@ func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error
 				if terr != nil {
 					return nil, terr
 				}
+				tx.Obs = reg
 				sig, err = tx.Modulate(ppdu)
 				rxNF = stick.NoiseFigureDB
 			}
@@ -115,48 +144,56 @@ func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error
 				return nil, err
 			}
 
-			classify(model, zigbeePHY, side, cfg.SamplesPerChip, capture, psdu, &corrupted, &lost)
+			classify(model, zigbeePHY, side, cfg.SamplesPerChip, reg, capture, psdu, valid, corrupted, lost)
 		}
 		n := float64(cfg.FramesPerPoint)
-		point.CorruptedRate = float64(corrupted) / n
-		point.LossRate = float64(lost) / n
+		point := SweepPoint{
+			SNRdB:         snr,
+			CorruptedRate: float64(corrupted.Value()) / n,
+			LossRate:      float64(lost.Value()) / n,
+		}
 		point.PER = point.CorruptedRate + point.LossRate
 		out = append(out, point)
+	}
+	if err := obs.Or(cfg.Obs).Merge(reg); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func classify(model chip.Model, zigbeePHY *ieee802154.PHY, side Side, sps int, capture dsp.IQ, want []byte, corrupted, lost *int) {
+func classify(model chip.Model, zigbeePHY *ieee802154.PHY, side Side, sps int, reg *obs.Registry, capture dsp.IQ, want []byte, valid, corrupted, lost *obs.Counter) {
 	var psdu []byte
 	switch side {
 	case Reception:
 		rx, err := model.NewWazaBeeReceiver(sps)
 		if err != nil {
-			*lost++
+			lost.Inc()
 			return
 		}
+		rx.Obs = reg
 		dem, err := rx.Receive(capture)
 		if err != nil {
-			*lost++
+			lost.Inc()
 			return
 		}
 		psdu = dem.PPDU.PSDU
 	case Transmission:
 		dem, err := zigbeePHY.Demodulate(capture)
 		if err != nil {
-			*lost++
+			lost.Inc()
 			return
 		}
 		psdu = dem.PPDU.PSDU
 	}
 	if len(psdu) != len(want) {
-		*corrupted++
+		corrupted.Inc()
 		return
 	}
 	for i := range want {
 		if psdu[i] != want[i] {
-			*corrupted++
+			corrupted.Inc()
 			return
 		}
 	}
+	valid.Inc()
 }

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"wazabee/internal/bitstream"
@@ -17,9 +18,24 @@ import (
 	"wazabee/internal/core"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 	"wazabee/internal/radio"
 	"wazabee/internal/zigbee"
 )
+
+// FramesMetric is the per-channel frame classification counter family
+// of a Table III run: labels chip, side, channel and class
+// (valid | corrupted | not_received).
+const FramesMetric = "wazabee_experiment_frames_total"
+
+// frameCounter returns the classification counter of one Table III cell.
+func frameCounter(reg *obs.Registry, model chip.Model, side Side, channel int, class string) *obs.Counter {
+	return reg.Counter(FramesMetric,
+		"chip", model.Name,
+		"side", side.String(),
+		"channel", strconv.Itoa(channel),
+		"class", class)
+}
 
 // Side selects which WazaBee primitive the run assesses.
 type Side int
@@ -51,6 +67,13 @@ type Config struct {
 	FramesPerChannel int
 	// SamplesPerChip is the baseband oversampling factor.
 	SamplesPerChip int
+	// Obs, when non-nil, receives the run's telemetry: the per-channel
+	// classification counters plus everything the instrumented pipeline
+	// underneath (core, radio, ieee802154) reports. Each run accumulates
+	// into a private registry and merges it in at the end, so a shared
+	// registry never sees a half-finished run. Nil merges into the
+	// process default registry.
+	Obs *obs.Registry
 	// Seed makes the run reproducible.
 	Seed int64
 	// SNRdB is the link budget of the 3 m lab path before the
@@ -155,18 +178,18 @@ func Run(cfg Config, model chip.Model, side Side) (*Result, error) {
 		Frames: cfg.FramesPerChannel,
 		Rows:   make([]ChannelResult, len(channels)),
 	}
+	// All telemetry of the run — the per-channel classification
+	// counters and everything the pipeline underneath reports — lands
+	// in a run-local registry, then merges into the caller's registry
+	// once the run is known good.
+	runReg := obs.NewRegistry()
 	errs := make([]error, len(channels))
 	var wg sync.WaitGroup
 	for idx, channel := range channels {
 		wg.Add(1)
 		go func(idx, channel int) {
 			defer wg.Done()
-			row, err := runChannel(cfg, model, side, channel)
-			if err != nil {
-				errs[idx] = err
-				return
-			}
-			result.Rows[idx] = row
+			errs[idx] = runChannel(cfg, runReg, model, side, channel)
 		}(idx, channel)
 	}
 	wg.Wait()
@@ -175,25 +198,42 @@ func Run(cfg Config, model chip.Model, side Side) (*Result, error) {
 			return nil, err
 		}
 	}
+	// The result rows are read back from the counters — the registry is
+	// the single source of truth for the tallies.
+	for idx, channel := range channels {
+		result.Rows[idx] = ChannelResult{
+			Channel:     channel,
+			Valid:       int(frameCounter(runReg, model, side, channel, "valid").Value()),
+			Corrupted:   int(frameCounter(runReg, model, side, channel, "corrupted").Value()),
+			NotReceived: int(frameCounter(runReg, model, side, channel, "not_received").Value()),
+		}
+	}
+	if err := obs.Or(cfg.Obs).Merge(runReg); err != nil {
+		return nil, err
+	}
 	return result, nil
 }
 
 // runChannel measures one Table III cell: FramesPerChannel frames on one
-// channel, with all randomness derived from (Seed, channel).
-func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelResult, error) {
-	row := ChannelResult{Channel: channel}
+// channel, with all randomness derived from (Seed, channel). The
+// classification tallies are the per-channel counters on reg.
+func runChannel(cfg Config, reg *obs.Registry, model chip.Model, side Side, channel int) error {
+	valid := frameCounter(reg, model, side, channel, "valid")
+	corrupted := frameCounter(reg, model, side, channel, "corrupted")
+	notReceived := frameCounter(reg, model, side, channel, "not_received")
 
 	sampleRate := float64(cfg.SamplesPerChip) * ieee802154.ChipRate
 	medium, err := radio.NewMedium(sampleRate, cfg.Seed*1000+int64(channel))
 	if err != nil {
-		return row, err
+		return err
 	}
+	medium.Obs = reg
 	if cfg.WiFi {
 		burst := cfg.SamplesPerChip * 100 // ≈ a short WiFi frame
 		for _, wifiChannel := range []int{6, 11} {
 			w, err := radio.NewWiFiInterferer(wifiChannel, cfg.WiFiDutyCycle, cfg.WiFiPower, burst)
 			if err != nil {
-				return row, err
+				return err
 			}
 			medium.AddWiFi(w)
 		}
@@ -202,8 +242,9 @@ func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelRe
 	stick := chip.RZUSBStick()
 	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
 	if err != nil {
-		return row, err
+		return err
 	}
+	zigbeePHY.Obs = reg
 
 	var (
 		wazaTX *core.Transmitter
@@ -212,17 +253,23 @@ func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelRe
 	switch side {
 	case Reception:
 		wazaRX, err = model.NewWazaBeeReceiver(cfg.SamplesPerChip)
+		if wazaRX != nil {
+			wazaRX.Obs = reg
+		}
 	case Transmission:
 		wazaTX, err = model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+		if wazaTX != nil {
+			wazaTX.Obs = reg
+		}
 	}
 	if err != nil {
-		return row, err
+		return err
 	}
 
 	rnd := medium.Rand()
 	freq, err := ieee802154.ChannelFrequencyMHz(channel)
 	if err != nil {
-		return row, err
+		return err
 	}
 
 	{
@@ -234,11 +281,11 @@ func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelRe
 				zigbee.DefaultSensor, zigbee.SensorPayload(counter), false)
 			psdu, err := frame.Encode()
 			if err != nil {
-				return row, err
+				return err
 			}
 			ppdu, err := ieee802154.NewPPDU(psdu)
 			if err != nil {
-				return row, err
+				return err
 			}
 
 			var sig dsp.IQ
@@ -256,7 +303,7 @@ func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelRe
 				txPPM, rxPPM = model.CrystalPPM, stick.CrystalPPM
 			}
 			if err != nil {
-				return row, err
+				return err
 			}
 
 			cfoHz := (rnd.Float64()*2 - 1) * (txPPM + rxPPM) * freq // 1 ppm at f MHz = f Hz
@@ -269,7 +316,7 @@ func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelRe
 			}
 			capture, err := medium.Deliver(sig, freq, freq, link)
 			if err != nil {
-				return row, err
+				return err
 			}
 
 			var psduRx []byte
@@ -292,15 +339,15 @@ func runChannel(cfg Config, model chip.Model, side Side, channel int) (ChannelRe
 
 			switch {
 			case errors.Is(err, ieee802154.ErrNoSync):
-				row.NotReceived++
+				notReceived.Inc()
 			case err != nil:
-				return row, err
+				return err
 			case bitstream.CheckFCS(psduRx) && bytes.Equal(psduRx, psdu):
-				row.Valid++
+				valid.Inc()
 			default:
-				row.Corrupted++
+				corrupted.Inc()
 			}
 		}
 	}
-	return row, nil
+	return nil
 }

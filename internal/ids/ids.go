@@ -21,6 +21,7 @@ import (
 	"wazabee/internal/ble"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 )
 
 // AlertKind classifies what a detector found.
@@ -105,6 +106,11 @@ type Monitor struct {
 	// expected on the monitored channel; when false, every frame raises
 	// AlertUnexpectedTraffic. Defaults to true.
 	ChannelExpected bool
+
+	// Obs receives the monitor's metrics (inspections, frames seen,
+	// detections by alert kind); nil falls back to the process default
+	// registry.
+	Obs *obs.Registry
 }
 
 // NewMonitor builds a monitor at the given oversampling factor.
@@ -141,6 +147,11 @@ func (m *Monitor) Inspect(capture dsp.IQ) (*Verdict, error) {
 	if len(capture) == 0 {
 		return nil, fmt.Errorf("ids: empty capture")
 	}
+	reg := obs.Or(m.Obs)
+	reg.Counter("wazabee_ids_inspections_total").Inc()
+	// The inner O-QPSK decoder reports to the same registry as the
+	// monitor that owns it.
+	m.zigbeePHY.Obs = m.Obs
 	verdict := &Verdict{}
 
 	dem, err := m.zigbeePHY.Demodulate(capture)
@@ -174,6 +185,12 @@ func (m *Monitor) Inspect(capture dsp.IQ) (*Verdict, error) {
 			Kind:   AlertBLEFraming,
 			Detail: "BLE advertising preamble and Access Address precede the 802.15.4 frame",
 		})
+	}
+	if verdict.FrameSeen {
+		reg.Counter("wazabee_ids_frames_seen_total").Inc()
+	}
+	for _, a := range verdict.Alerts {
+		reg.Counter("wazabee_ids_detections_total", "kind", a.Kind.String()).Inc()
 	}
 	return verdict, nil
 }

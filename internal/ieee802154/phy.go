@@ -7,6 +7,7 @@ import (
 
 	"wazabee/internal/bitstream"
 	"wazabee/internal/dsp"
+	"wazabee/internal/obs"
 )
 
 // ErrNoSync is returned when the demodulator cannot find the preamble
@@ -32,6 +33,14 @@ type PHY struct {
 	// this threshold are what make one chip report corrupted frames
 	// where another reports losses in Table III.
 	MaxChipDistance int
+
+	// Obs receives the PHY's receive-side metrics (frames, sync and
+	// despread failures, FCS pass/fail, chip-distance histogram, stage
+	// timings); nil falls back to the process default registry.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, records demod/despread spans per capture.
+	Trace *obs.Trace
 }
 
 // NewPHY returns a PHY with the given oversampling factor.
@@ -77,6 +86,8 @@ func (p *PHY) Modulate(ppdu *PPDU) (dsp.IQ, error) {
 	if ppdu == nil {
 		return nil, fmt.Errorf("ieee802154: nil PPDU")
 	}
+	end := obs.Stage(obs.Or(p.Obs), p.Trace, "modulate")
+	defer end()
 	return p.ModulateChips(Spread(ppdu.Bytes()))
 }
 
@@ -130,10 +141,13 @@ func syncPattern() bitstream.Bits {
 // WazaBee attack exploits; commercial 802.15.4 transceivers use the same
 // simplification.
 func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
+	reg := obs.Or(p.Obs)
 	sps := p.SamplesPerChip
 	if len(sig) < 4*ChipsPerSymbol*sps {
+		reg.Counter("wazabee_sync_failures_total", "decoder", "oqpsk").Inc()
 		return nil, ErrNoSync
 	}
+	endDemod := obs.Stage(reg, p.Trace, "demod")
 	incs := dsp.Discriminate(sig)
 	pattern := syncPattern()
 
@@ -160,8 +174,12 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 		}
 	}
 	if bestPhase < 0 {
+		endDemod()
+		reg.Counter("wazabee_sync_failures_total", "decoder", "oqpsk").Inc()
 		return nil, ErrNoSync
 	}
+	reg.Histogram("wazabee_aa_pattern_errors", obs.LinearBuckets(0, 1, 9), "decoder", "oqpsk").
+		Observe(float64(bestErrs))
 
 	sums := dsp.IntegrateSymbols(incs, bestPhase, sps)
 
@@ -184,11 +202,18 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 		}
 	}
 
+	endDemod()
+	endDespread := obs.Stage(reg, p.Trace, "despread")
 	dem, err := DecodePPDUFromTransitions(bits, bestPos)
+	endDespread()
 	if err != nil {
+		reg.Counter("wazabee_despread_failures_total", "decoder", "oqpsk").Inc()
 		return nil, err
 	}
+	reg.Histogram("wazabee_worst_chip_distance", obs.DistanceBuckets, "decoder", "oqpsk").
+		Observe(float64(dem.WorstChipDistance))
 	if p.MaxChipDistance > 0 && dem.WorstChipDistance > p.MaxChipDistance {
+		reg.Counter("wazabee_quality_gate_drops_total", "decoder", "oqpsk").Inc()
 		return nil, ErrNoSync
 	}
 	dem.SyncErrors = bestErrs
@@ -211,6 +236,12 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 	if n > 0 {
 		dem.SoftEVM = math.Sqrt(dev / float64(n))
 	}
+	reg.Counter("wazabee_frames_received_total", "decoder", "oqpsk").Inc()
+	result := "pass"
+	if !bitstream.CheckFCS(dem.PPDU.PSDU) {
+		result = "fail"
+	}
+	reg.Counter("wazabee_crc_checks_total", "decoder", "oqpsk", "result", result).Inc()
 	return dem, nil
 }
 

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// formatLabels renders a Prometheus label block, with extra pairs (used
+// for the histogram "le" label) appended after the series labels.
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a float the way the exposition format expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name and
+// label set. Histograms emit cumulative le-labelled buckets plus _sum
+// and _count, exactly as a scraper expects.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	lastName := ""
+	for _, s := range r.sortedSeries() {
+		if s.name != lastName {
+			if h, ok := help[s.name]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			lastName = s.name
+		}
+		switch s.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.name, formatLabels(s.labels), s.counter.Value()); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, formatLabels(s.labels), formatFloat(s.gauge.Value())); err != nil {
+				return err
+			}
+		case "histogram":
+			st := s.hist.snapshot()
+			var cum uint64
+			for i, bound := range st.bounds {
+				cum += st.counts[i]
+				le := Label{Name: "le", Value: formatFloat(bound)}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, formatLabels(s.labels, le), cum); err != nil {
+					return err
+				}
+			}
+			cum += st.counts[len(st.bounds)]
+			le := Label{Name: "le", Value: "+Inf"}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, formatLabels(s.labels, le), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, formatLabels(s.labels), formatFloat(st.sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, formatLabels(s.labels), st.count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusText returns the full text exposition as a string.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// SeriesSnapshot is one series of a JSON snapshot.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	// Counter / gauge value.
+	Value float64 `json:"value,omitempty"`
+
+	// Histogram payload.
+	Count     uint64             `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Mean      float64            `json:"mean,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Buckets   []BucketSnapshot   `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket. The implicit +Inf
+// bucket is omitted (JSON has no infinity); its cumulative count equals
+// the series Count.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// snapshotQuantiles are the quantile points included in JSON snapshots.
+var snapshotQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Snapshot returns a point-in-time copy of every series, ordered like
+// the Prometheus encoding.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	srs := r.sortedSeries()
+	out := make([]SeriesSnapshot, 0, len(srs))
+	for _, s := range srs {
+		snap := SeriesSnapshot{Name: s.name, Kind: s.kind}
+		if len(s.labels) > 0 {
+			snap.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				snap.Labels[l.Name] = l.Value
+			}
+		}
+		switch s.kind {
+		case "counter":
+			snap.Value = float64(s.counter.Value())
+		case "gauge":
+			snap.Value = s.gauge.Value()
+		case "histogram":
+			st := s.hist.snapshot()
+			snap.Count = st.count
+			snap.Sum = st.sum
+			if st.count > 0 {
+				snap.Mean = st.sum / float64(st.count)
+				snap.Quantiles = make(map[string]float64, len(snapshotQuantiles))
+				for _, q := range snapshotQuantiles {
+					snap.Quantiles[fmt.Sprintf("p%g", q*100)] = s.hist.Quantile(q)
+				}
+			}
+			var cum uint64
+			for i, b := range st.bounds {
+				cum += st.counts[i]
+				snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: b, Count: cum})
+			}
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// JSON returns the snapshot as indented JSON, expvar-style.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// ServeHTTP makes the registry an http.Handler serving the Prometheus
+// text encoding (or the JSON snapshot when the request asks for
+// ?format=json), so commands can mount it at /metrics next to
+// net/http/pprof.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		b, err := r.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a deterministic registry exercising every
+// metric kind, label handling and the histogram bucket encoding.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.SetHelp("wazabee_frames_total", "Frames processed by the pipeline.")
+	reg.SetHelp("wazabee_worst_chip_distance", "Worst per-symbol Hamming distance of received frames.")
+	reg.Counter("wazabee_frames_total", "side", "rx", "result", "ok").Add(42)
+	reg.Counter("wazabee_frames_total", "side", "rx", "result", "sync_failure").Add(3)
+	reg.Counter("wazabee_frames_total", "side", "tx", "result", "ok").Add(40)
+	reg.Gauge("wazabee_link_snr_db").Set(9.5)
+	h := reg.Histogram("wazabee_worst_chip_distance", LinearBuckets(0, 1, 4))
+	for _, v := range []float64{0, 0, 1, 2, 2, 2, 3, 7} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestPrometheusGolden compares the text exposition against the checked
+// in golden file. Regenerate with:
+//
+//	OBS_UPDATE_GOLDEN=1 go test ./internal/obs -run TestPrometheusGolden
+func TestPrometheusGolden(t *testing.T) {
+	got := goldenRegistry().PrometheusText()
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("OBS_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus encoding drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusEncodingShape(t *testing.T) {
+	text := goldenRegistry().PrometheusText()
+	for _, want := range []string{
+		"# HELP wazabee_frames_total Frames processed by the pipeline.",
+		"# TYPE wazabee_frames_total counter",
+		`wazabee_frames_total{result="ok",side="rx"} 42`,
+		"# TYPE wazabee_link_snr_db gauge",
+		"wazabee_link_snr_db 9.5",
+		"# TYPE wazabee_worst_chip_distance histogram",
+		`wazabee_worst_chip_distance_bucket{le="2"} 6`,
+		`wazabee_worst_chip_distance_bucket{le="+Inf"} 8`,
+		"wazabee_worst_chip_distance_sum 17",
+		"wazabee_worst_chip_distance_count 8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("encoding missing %q\nfull output:\n%s", want, text)
+		}
+	}
+	// TYPE lines appear once per family even with several series.
+	if strings.Count(text, "# TYPE wazabee_frames_total counter") != 1 {
+		t.Error("duplicate TYPE line for a multi-series family")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	b, err := goldenRegistry().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []SeriesSnapshot
+	if err := json.Unmarshal(b, &snaps); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	byName := map[string]SeriesSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name+"/"+s.Labels["side"]+"/"+s.Labels["result"]] = s
+	}
+	if s := byName["wazabee_frames_total/rx/ok"]; s.Value != 42 {
+		t.Errorf("counter snapshot value = %g, want 42", s.Value)
+	}
+	hist, ok := byName["wazabee_worst_chip_distance//"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hist.Count != 8 || hist.Sum != 17 {
+		t.Errorf("histogram snapshot count/sum = %d/%g, want 8/17", hist.Count, hist.Sum)
+	}
+	if _, ok := hist.Quantiles["p50"]; !ok {
+		t.Error("histogram snapshot missing p50 quantile")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	reg := goldenRegistry()
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "wazabee_frames_total") {
+		t.Error("text endpoint missing metrics")
+	}
+
+	rec = httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var snaps []SeriesSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snaps); err != nil {
+		t.Fatalf("json endpoint: %v", err)
+	}
+}

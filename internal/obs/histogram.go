@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// buckets by upper bound, with an implicit +Inf overflow bucket, and the
+// exact sum/count kept alongside. Quantiles are estimated by linear
+// interpolation inside the covering bucket, the same estimator
+// Prometheus's histogram_quantile uses.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending finite upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+	min    float64
+	max    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	// Drop non-finite and duplicate bounds; +Inf is implicit.
+	dst := bs[:0]
+	for i, b := range bs {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			continue
+		}
+		if i > 0 && len(dst) > 0 && b == dst[len(dst)-1] {
+			continue
+		}
+		dst = append(dst, b)
+	}
+	bs = dst
+	return &Histogram{
+		bounds: bs,
+		counts: make([]uint64, len(bs)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank. The estimate is clamped
+// to the observed min/max, which keeps the +Inf bucket and the first
+// bucket from inventing values outside the data. Returns NaN when the
+// histogram is empty or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		// Bucket i covers the target rank; interpolate across it.
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if i == len(h.bounds) || hi < lo {
+			// +Inf bucket, or a min/max clamp crossing: the best
+			// point estimate is the observed extreme.
+			if i == len(h.bounds) {
+				return h.max
+			}
+			return hi
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		v := lo + (hi-lo)*frac
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
+// histState is a consistent copy of a histogram's internals.
+type histState struct {
+	bounds   []float64
+	counts   []uint64
+	sum      float64
+	count    uint64
+	min, max float64
+}
+
+// snapshot returns a consistent copy for the encoders and merge.
+func (h *Histogram) snapshot() histState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return histState{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		count:  h.count,
+		min:    h.min,
+		max:    h.max,
+	}
+}
+
+// merge adds other's buckets into h; layouts must match. The snapshot
+// is taken before h's lock so concurrent merges in opposite directions
+// cannot deadlock.
+func (h *Histogram) merge(other *Histogram) error {
+	st := other.snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(st.bounds) != len(h.bounds) {
+		return fmt.Errorf("bucket layout mismatch: %d vs %d bounds", len(st.bounds), len(h.bounds))
+	}
+	for i, b := range st.bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("bucket bound mismatch at %d: %g vs %g", i, b, h.bounds[i])
+		}
+	}
+	for i, c := range st.counts {
+		h.counts[i] += c
+	}
+	h.sum += st.sum
+	h.count += st.count
+	if st.min < h.min {
+		h.min = st.min
+	}
+	if st.max > h.max {
+		h.max = st.max
+	}
+	return nil
+}
+
+// LinearBuckets returns count bounds starting at start, spaced by width:
+// start, start+width, ... Useful for small-integer metrics like chip
+// distances.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count < 1 {
+		return nil
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds starting at start and growing
+// by factor: start, start*factor, ...
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if count < 1 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, count)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default layout for stage timings: 1 µs to ~4 s
+// in powers of two. Wide enough for a whole Table III channel run, fine
+// enough to separate the DSP stages.
+var DurationBuckets = ExponentialBuckets(1e-6, 2, 23)
+
+// DistanceBuckets is the default layout for chip Hamming-distance
+// histograms: one bucket per distance 0..16 (a 31-chip block can be at
+// most 31 away, but the quality gate lives well below 16).
+var DistanceBuckets = LinearBuckets(0, 1, 17)

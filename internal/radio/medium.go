@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"wazabee/internal/dsp"
+	"wazabee/internal/obs"
 )
 
 // Link describes the propagation between one transmitter and one receiver.
@@ -35,6 +36,14 @@ type Medium struct {
 	// SampleRateHz is the complex-baseband sample rate shared by all
 	// attached modems.
 	SampleRateHz float64
+
+	// Obs receives the medium's metrics (bursts delivered, SNR/CFO
+	// gauges, interference hits); nil falls back to the process default
+	// registry.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, records a "medium" span per delivery.
+	Trace *obs.Trace
 
 	rnd         *rand.Rand
 	interferers []WiFiInterferer
@@ -81,6 +90,10 @@ func (m *Medium) Deliver(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (d
 		return nil, fmt.Errorf("radio: negative padding")
 	}
 
+	reg := obs.Or(m.Obs)
+	end := obs.Stage(reg, m.Trace, "medium")
+	defer end()
+
 	sep := txFreqMHz - rxFreqMHz
 	if sep < 0 {
 		sep = -sep
@@ -108,11 +121,20 @@ func (m *Medium) Deliver(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (d
 			offset = m.rnd.Intn(lead + 1)
 		}
 		out.Add(burst, offset)
+		reg.Counter("wazabee_medium_bursts_total", "path", "in_band").Inc()
+	} else {
+		reg.Counter("wazabee_medium_bursts_total", "path", "out_of_band").Inc()
 	}
+	reg.Gauge("wazabee_medium_snr_db").Set(link.SNRdB)
+	reg.Gauge("wazabee_medium_cfo_hz").Set(link.CFOHz)
 
 	for _, w := range m.interferers {
-		if err := w.apply(out, rxFreqMHz, link.InterferenceRejectionDB, m); err != nil {
+		hit, err := w.apply(out, rxFreqMHz, link.InterferenceRejectionDB, m)
+		if err != nil {
 			return nil, err
+		}
+		if hit {
+			reg.Counter("wazabee_medium_interference_hits_total").Inc()
 		}
 	}
 	return out, nil

@@ -81,12 +81,14 @@ func (w WiFiInterferer) Overlap(victimMHz float64) float64 {
 }
 
 // apply overlays interference bursts onto a receiver capture,
-// attenuated by the receiver's blocking performance.
-func (w WiFiInterferer) apply(sig dsp.IQ, rxFreqMHz, rejectionDB float64, m *Medium) error {
+// attenuated by the receiver's blocking performance. It reports whether
+// the interferer actually reached the capture (spectral overlap and
+// non-zero duty cycle), so the medium can count interference hits.
+func (w WiFiInterferer) apply(sig dsp.IQ, rxFreqMHz, rejectionDB float64, m *Medium) (bool, error) {
 	weight := w.Overlap(rxFreqMHz)
 	if weight == 0 || w.DutyCycle == 0 || w.Power == 0 {
-		return nil
+		return false, nil
 	}
 	power := w.Power * weight * math.Pow(10, -rejectionDB/10)
-	return dsp.BurstNoise(sig, w.DutyCycle, w.BurstSamples, power, m.rnd)
+	return true, dsp.BurstNoise(sig, w.DutyCycle, w.BurstSamples, power, m.rnd)
 }

@@ -25,6 +25,7 @@ import (
 	"wazabee/internal/ids"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/modsim"
+	"wazabee/internal/obs"
 	"wazabee/internal/zigbee"
 )
 
@@ -181,6 +182,49 @@ func NewTracker(tx *Transmitter, rx *Receiver, air attack.Air) (*Tracker, error)
 // NewSmartphone builds the scenario A attacker.
 func NewSmartphone(samplesPerSymbol int) (*Smartphone, error) {
 	return attack.NewSmartphone(samplesPerSymbol)
+}
+
+// Observability: the telemetry layer every instrumented component
+// (Transmitter, Receiver, the radio medium, the 802.15.4 decoder, the
+// IDS and the experiment harnesses) reports into.
+type (
+	// MetricsRegistry holds counters, gauges and histograms and encodes
+	// them as Prometheus text or a JSON snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsCounter is a concurrency-safe monotonic counter.
+	MetricsCounter = obs.Counter
+	// MetricsGauge is a concurrency-safe instantaneous value.
+	MetricsGauge = obs.Gauge
+	// MetricsHistogram is a fixed-bucket histogram with quantile
+	// estimation.
+	MetricsHistogram = obs.Histogram
+	// Trace collects nested, timed spans of one pipeline traversal.
+	Trace = obs.Trace
+	// Span is one timed pipeline stage inside a Trace.
+	Span = obs.Span
+)
+
+// DefaultRegistry is the process-wide metrics registry; instrumented
+// components report here unless given a private registry via their Obs
+// field (or an experiment Config's Obs field).
+var DefaultRegistry = obs.Default()
+
+// Metrics returns the process-wide default metrics registry — print
+// Metrics().PrometheusText() to see everything the pipeline observed.
+func Metrics() *MetricsRegistry {
+	return obs.Default()
+}
+
+// NewMetricsRegistry builds a private registry, for callers who want to
+// isolate one run's telemetry from the process totals.
+func NewMetricsRegistry() *MetricsRegistry {
+	return obs.NewRegistry()
+}
+
+// NewTrace starts a span trace; attach it to a Transmitter, Receiver or
+// medium via their Trace field and render it with Tree() or JSON().
+func NewTrace(name string) *Trace {
+	return obs.NewTrace(name)
 }
 
 // Counter-measures and prospective analysis (sections VII and VIII).
