@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -17,4 +18,10 @@ race:
 bench:
 	$(GO) test -bench . -benchmem .
 
-ci: vet build race
+# Short smoke runs of the native fuzzers: the capture readers must never
+# panic on corrupt pcap/ZEP input.
+fuzz:
+	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzPCAPRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzZEPDecode -fuzztime $(FUZZTIME)
+
+ci: vet build race fuzz

@@ -1,0 +1,352 @@
+// wazabeed is the long-running sniffer daemon: it runs the live victim
+// network next to a WazaBee receiver (a diverted BLE chip), tees every
+// decoded 802.15.4 frame into a rotating pcap file, and serves the
+// capture stream to any number of concurrent subscribers — over TCP as
+// length-prefixed records and over UDP as ZEP v2 datagrams — while
+// exposing the process's /metrics and pprof handlers.
+//
+//	wazabeed -listen :7754 -zep-listen :17754 -pcap wazabee.pcap -metrics-addr :9090
+//
+// TCP subscribers connect and read framed capture.Record values; ZEP
+// subscribers send any datagram to the UDP port to subscribe and then
+// receive one ZEP v2 packet per captured frame (Wireshark dissects
+// them natively: udp.port == 17754).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"wazabee"
+	"wazabee/internal/capture"
+	"wazabee/internal/obs"
+	"wazabee/internal/zigbee"
+)
+
+type config struct {
+	seed         int64
+	sps          int
+	snrDB        float64
+	interval     time.Duration
+	channel      int
+	periods      int // 0 = run until the context is cancelled
+	pcapPath     string
+	pcapMaxBytes int64
+	listenTCP    string
+	listenZEP    string
+	metricsAddr  string
+	deviceID     uint
+	queueDepth   int
+}
+
+func main() {
+	cfg := config{}
+	flag.Int64Var(&cfg.seed, "seed", 7, "victim network simulation seed")
+	flag.IntVar(&cfg.sps, "sps", 8, "baseband samples per chip")
+	flag.Float64Var(&cfg.snrDB, "snr", 22, "attacker link SNR in dB")
+	flag.DurationVar(&cfg.interval, "interval", 250*time.Millisecond, "sensor reporting interval")
+	flag.IntVar(&cfg.channel, "channel", zigbee.DefaultChannel, "802.15.4 channel to sniff")
+	flag.IntVar(&cfg.periods, "periods", 0, "stop after this many reporting periods (0 = run until interrupted)")
+	flag.StringVar(&cfg.pcapPath, "pcap", "wazabee.pcap", "rotating pcap output path (empty disables)")
+	flag.Int64Var(&cfg.pcapMaxBytes, "pcap-max-bytes", 16<<20, "rotate the pcap file beyond this size (0 = never)")
+	flag.StringVar(&cfg.listenTCP, "listen", ":7754", "serve length-prefixed records to TCP subscribers here (empty disables)")
+	flag.StringVar(&cfg.listenZEP, "zep-listen", "", "serve ZEP v2 datagrams to UDP subscribers here, e.g. :17754 (empty disables)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics and net/http/pprof on this address (empty disables)")
+	flag.UintVar(&cfg.deviceID, "zep-device", 0x5742, "ZEP device id stamped on outgoing datagrams")
+	flag.IntVar(&cfg.queueDepth, "queue", 256, "per-subscriber bounded queue depth")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := newDaemon(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.run(ctx, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// daemon owns the sniffer pipeline and its listeners. Listeners bind in
+// newDaemon so tests (and operators using port 0) can learn the chosen
+// addresses before the pipeline starts.
+type daemon struct {
+	cfg config
+	hub *capture.Hub
+
+	tcpLn net.Listener
+	zepPC net.PacketConn
+	pcap  *capture.RotatingPCAP
+}
+
+func newDaemon(cfg config) (*daemon, error) {
+	if cfg.queueDepth < 1 {
+		return nil, fmt.Errorf("wazabeed: queue depth %d < 1", cfg.queueDepth)
+	}
+	d := &daemon{cfg: cfg, hub: capture.NewHub(nil)}
+	if cfg.listenTCP != "" {
+		ln, err := net.Listen("tcp", cfg.listenTCP)
+		if err != nil {
+			return nil, fmt.Errorf("wazabeed: tcp listener: %w", err)
+		}
+		d.tcpLn = ln
+	}
+	if cfg.listenZEP != "" {
+		pc, err := net.ListenPacket("udp", cfg.listenZEP)
+		if err != nil {
+			return nil, fmt.Errorf("wazabeed: zep listener: %w", err)
+		}
+		d.zepPC = pc
+	}
+	if cfg.pcapPath != "" {
+		pcap, err := capture.OpenRotatingPCAP(cfg.pcapPath, cfg.pcapMaxBytes, nil)
+		if err != nil {
+			return nil, fmt.Errorf("wazabeed: pcap: %w", err)
+		}
+		d.pcap = pcap
+	}
+	return d, nil
+}
+
+// tcpAddr returns the bound TCP address, or "" when disabled.
+func (d *daemon) tcpAddr() string {
+	if d.tcpLn == nil {
+		return ""
+	}
+	return d.tcpLn.Addr().String()
+}
+
+// zepAddr returns the bound ZEP/UDP address, or "" when disabled.
+func (d *daemon) zepAddr() string {
+	if d.zepPC == nil {
+		return ""
+	}
+	return d.zepPC.LocalAddr().String()
+}
+
+func (d *daemon) run(ctx context.Context, out io.Writer) error {
+	cfg := d.cfg
+	network, err := wazabee.NewVictimNetwork(cfg.seed, cfg.sps, cfg.snrDB)
+	if err != nil {
+		return err
+	}
+	live, err := zigbee.StartLive(network, cfg.interval, cfg.channel)
+	if err != nil {
+		return err
+	}
+	defer live.Shutdown()
+
+	rx, err := wazabee.NewReceiver(wazabee.CC1352R1(), cfg.sps)
+	if err != nil {
+		return err
+	}
+
+	var consumers sync.WaitGroup
+
+	// Consumer: the rotating pcap tee.
+	if d.pcap != nil {
+		sub, err := d.hub.Subscribe("pcap", cfg.queueDepth)
+		if err != nil {
+			return err
+		}
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				rec, ok := sub.Recv()
+				if !ok {
+					return
+				}
+				if err := d.pcap.WriteRecord(rec); err != nil {
+					fmt.Fprintln(out, "wazabeed: pcap:", err)
+					return
+				}
+			}
+		}()
+		defer d.pcap.Close()
+	}
+
+	// Consumers: one per accepted TCP connection.
+	if d.tcpLn != nil {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			d.serveTCP()
+		}()
+		defer d.tcpLn.Close()
+		fmt.Fprintf(out, "wazabeed: serving records on tcp %s\n", d.tcpAddr())
+	}
+
+	// Consumer: the ZEP/UDP fan-out.
+	if d.zepPC != nil {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			d.serveZEP()
+		}()
+		defer d.zepPC.Close()
+		fmt.Fprintf(out, "wazabeed: serving ZEP v2 on udp %s\n", d.zepAddr())
+	}
+
+	if cfg.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default())
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		srv := &http.Server{Addr: cfg.metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(out, "wazabeed: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(out, "wazabeed: serving /metrics and /debug/pprof on %s\n", cfg.metricsAddr)
+	}
+
+	// Producer: decode live periods and publish them to the hub until
+	// the period budget, a stream end, or a signal stops the daemon.
+	published, decoded := 0, 0
+	reg := obs.Default()
+producer:
+	for cfg.periods == 0 || published < cfg.periods {
+		select {
+		case <-ctx.Done():
+			break producer
+		case c, ok := <-live.Captures():
+			if !ok {
+				if err := live.Err(); err != nil {
+					fmt.Fprintln(out, "wazabeed: capture stream ended:", err)
+				}
+				break producer
+			}
+			dem, err := rx.Receive(c.IQ)
+			if err != nil {
+				dem = nil
+			} else {
+				decoded++
+			}
+			rec := capture.NewLiveRecord(c.At, c.Channel, c.IQ, dem, cfg.snrDB)
+			d.hub.Publish(rec)
+			published++
+			reg.Gauge("wazabee_capture_daemon_periods").Set(float64(published))
+		}
+	}
+
+	// Shut down: end the stream, let subscribers drain, close
+	// listeners so their accept/read loops unblock.
+	d.hub.Close()
+	if d.tcpLn != nil {
+		d.tcpLn.Close()
+	}
+	if d.zepPC != nil {
+		d.zepPC.Close()
+	}
+	consumers.Wait()
+
+	fmt.Fprintf(out, "wazabeed: %d periods published, %d frames decoded\n", published, decoded)
+	if d.pcap != nil {
+		fmt.Fprintf(out, "wazabeed: pcap capture at %s (%d packets) — open with: wireshark %s\n",
+			cfg.pcapPath, d.pcap.Packets(), cfg.pcapPath)
+	}
+	return nil
+}
+
+// serveTCP accepts subscribers and streams them length-prefixed
+// records; each connection gets its own bounded hub subscription, so a
+// stalled client only drops its own records.
+func (d *daemon) serveTCP() {
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := d.tcpLn.Accept()
+		if err != nil {
+			return // listener closed on shutdown
+		}
+		name := "tcp:" + conn.RemoteAddr().String()
+		sub, err := d.hub.Subscribe(name, d.cfg.queueDepth)
+		if err != nil {
+			conn.Close()
+			return // hub closed
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer conn.Close()
+			defer sub.Close()
+			for {
+				rec, ok := sub.Recv()
+				if !ok {
+					return
+				}
+				if err := capture.WriteRecord(conn, rec); err != nil {
+					return // subscriber went away
+				}
+			}
+		}()
+	}
+}
+
+// serveZEP tracks UDP subscribers (any inbound datagram subscribes its
+// source address) and pushes each captured frame as one ZEP v2 packet.
+func (d *daemon) serveZEP() {
+	reg := obs.Default()
+	var mu sync.Mutex
+	peers := make(map[string]net.Addr)
+
+	// Registration loop: one datagram from a collector subscribes it.
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			_, addr, err := d.zepPC.ReadFrom(buf)
+			if err != nil {
+				return // socket closed on shutdown
+			}
+			mu.Lock()
+			peers[addr.String()] = addr
+			reg.Gauge("wazabee_capture_zep_subscribers").Set(float64(len(peers)))
+			mu.Unlock()
+		}
+	}()
+
+	sub, err := d.hub.Subscribe("zep", d.cfg.queueDepth)
+	if err != nil {
+		return
+	}
+	var seq uint32
+	for {
+		rec, ok := sub.Recv()
+		if !ok {
+			return
+		}
+		if len(rec.PSDU) == 0 {
+			continue
+		}
+		datagram, err := capture.EncodeZEP(rec, uint16(d.cfg.deviceID), seq)
+		if err != nil {
+			continue
+		}
+		seq++
+		mu.Lock()
+		for key, addr := range peers {
+			if _, err := d.zepPC.WriteTo(datagram, addr); err != nil {
+				delete(peers, key)
+				continue
+			}
+			reg.Counter("wazabee_capture_zep_datagrams_total").Inc()
+		}
+		reg.Gauge("wazabee_capture_zep_subscribers").Set(float64(len(peers)))
+		mu.Unlock()
+	}
+}

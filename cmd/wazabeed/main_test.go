@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wazabee/internal/capture"
+	"wazabee/internal/zigbee"
+)
+
+// TestDaemonSmoke runs the daemon end-to-end: it starts, serves one
+// TCP record subscriber and one ZEP/UDP subscriber, tees a non-empty
+// pcap file, and shuts down cleanly on context cancellation.
+func TestDaemonSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		seed:         7,
+		sps:          8,
+		snrDB:        25,
+		interval:     20 * time.Millisecond,
+		channel:      zigbee.DefaultChannel,
+		periods:      0, // run until cancelled
+		pcapPath:     filepath.Join(dir, "smoke.pcap"),
+		pcapMaxBytes: 0,
+		listenTCP:    "127.0.0.1:0",
+		listenZEP:    "127.0.0.1:0",
+		deviceID:     0x5742,
+		queueDepth:   64,
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.tcpAddr() == "" || d.zepAddr() == "" {
+		t.Fatalf("listeners not bound: tcp=%q zep=%q", d.tcpAddr(), d.zepAddr())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.run(ctx, &out) }()
+
+	// TCP subscriber: read two framed records.
+	conn, err := net.Dial("tcp", d.tcpAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var tcpFrames int
+	for tcpFrames < 2 {
+		rec, err := capture.ReadRecord(conn)
+		if err != nil {
+			t.Fatalf("tcp subscriber after %d records: %v", tcpFrames, err)
+		}
+		if rec.Channel != zigbee.DefaultChannel {
+			t.Errorf("record on channel %d, want %d", rec.Channel, zigbee.DefaultChannel)
+		}
+		if len(rec.PSDU) > 0 {
+			if rec.Decoder != "wazabee" {
+				t.Errorf("decoded record tagged %q, want wazabee", rec.Decoder)
+			}
+			tcpFrames++
+		}
+	}
+
+	// ZEP subscriber: one datagram subscribes, then frames arrive.
+	zep, err := net.Dial("udp", d.zepAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zep.Close()
+	if _, err := zep.Write([]byte("subscribe")); err != nil {
+		t.Fatal(err)
+	}
+	zep.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := zep.Read(buf)
+	if err != nil {
+		t.Fatalf("zep subscriber: %v", err)
+	}
+	rec, deviceID, _, err := capture.DecodeZEP(buf[:n])
+	if err != nil {
+		t.Fatalf("zep datagram does not decode: %v", err)
+	}
+	if deviceID != 0x5742 {
+		t.Errorf("zep device id %#x, want 0x5742", deviceID)
+	}
+	if rec.Channel != zigbee.DefaultChannel || len(rec.PSDU) == 0 {
+		t.Errorf("zep record %+v lacks channel/frame", rec)
+	}
+
+	// Clean shutdown.
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "periods published") {
+		t.Errorf("missing shutdown summary in output:\n%s", out.String())
+	}
+
+	// The pcap tee is non-empty and well-formed.
+	records, err := capture.OpenPCAP(cfg.pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("pcap capture is empty")
+	}
+	for i, rec := range records {
+		if len(rec.PSDU) == 0 {
+			t.Errorf("pcap packet %d is empty", i)
+		}
+	}
+}

@@ -4,13 +4,20 @@
 // the scenario A injection is caught by both its BLE framing and its
 // GFSK modulation fingerprint; the scenario B spoofing is caught by the
 // fingerprint alone.
+//
+// The final section runs the monitor as a streaming consumer: one live
+// sniffer producer publishes into a capture.Hub and two subscribers — a
+// frame logger and the IDS — consume the same stream concurrently.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"wazabee"
+	"wazabee/internal/capture"
 	"wazabee/internal/ids"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/zigbee"
@@ -126,5 +133,92 @@ func run() error {
 	}
 	report("traffic on a forbidden channel", v)
 
+	// 5. Streaming monitoring: the same IDS as a hub subscriber, next
+	// to a frame logger, both fed by one live sniffer producer.
+	monitor.ChannelExpected = true
+	return streamingDemo(monitor)
+}
+
+// streamingDemo publishes a few live capture periods through a
+// capture.Hub and lets two concurrent consumers — a frame logger and
+// the IDS — process the identical stream, the deployment shape a real
+// monitoring post would use (record once, analyse many ways).
+func streamingDemo(monitor *ids.Monitor) error {
+	fmt.Println("\n--- streaming: one sniffer producer, logger + IDS consumers ---")
+	network, err := wazabee.NewVictimNetwork(123, sps, 25)
+	if err != nil {
+		return err
+	}
+	live, err := zigbee.StartLive(network, 20*time.Millisecond, zigbee.DefaultChannel)
+	if err != nil {
+		return err
+	}
+	defer live.Shutdown()
+	rx, err := wazabee.NewReceiver(wazabee.CC1352R1(), sps)
+	if err != nil {
+		return err
+	}
+
+	hub := capture.NewHub(nil)
+	var consumers sync.WaitGroup
+
+	logSub, err := hub.Subscribe("logger", 8)
+	if err != nil {
+		return err
+	}
+	consumers.Add(1)
+	go func() {
+		defer consumers.Done()
+		for {
+			rec, ok := logSub.Recv()
+			if !ok {
+				return
+			}
+			if frame, err := ieee802154.ParseMACFrame(rec.PSDU); err == nil {
+				fmt.Printf("logger: seq=%3d %#04x->%#04x LQI=%d\n",
+					frame.Seq, frame.SrcAddr, frame.DestAddr, rec.LQI)
+			} else {
+				fmt.Printf("logger: period with no decodable frame (RSSI %.1f dB)\n", rec.RSSIdBm)
+			}
+		}
+	}()
+
+	idsSub, err := hub.Subscribe("ids", 8)
+	if err != nil {
+		return err
+	}
+	consumers.Add(1)
+	go func() {
+		defer consumers.Done()
+		for {
+			rec, ok := idsSub.Recv()
+			if !ok {
+				return
+			}
+			// The IDS works below the frame level, on the waveform the
+			// record carries in memory.
+			verdict, err := monitor.Inspect(rec.IQ)
+			if err != nil {
+				fmt.Println("ids: inspect:", err)
+				continue
+			}
+			report(fmt.Sprintf("ids: live period (ch %d)", rec.Channel), verdict)
+		}
+	}()
+
+	for i := 0; i < 3; i++ {
+		c, ok := <-live.Captures()
+		if !ok {
+			fmt.Printf("watchdog: capture stream ended early: %v\n", live.Err())
+			break
+		}
+		dem, err := rx.Receive(c.IQ)
+		if err != nil {
+			dem = nil
+		}
+		hub.Publish(capture.NewLiveRecord(c.At, c.Channel, c.IQ, dem, 25))
+	}
+	hub.Close()
+	consumers.Wait()
 	return nil
 }

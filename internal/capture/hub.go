@@ -1,0 +1,271 @@
+package capture
+
+import (
+	"fmt"
+	"sync"
+
+	"wazabee/internal/obs"
+)
+
+// Hub fans one producer's records out to N subscribers, each behind a
+// bounded queue with an explicit drop-oldest backpressure policy: a
+// publisher never blocks on a slow consumer, the slow consumer loses
+// its oldest queued records, and every loss is accounted — per
+// subscriber — in the obs registry. This is the serving shape the
+// ROADMAP aims at (one sniffer, many concurrent consumers) in a single
+// process.
+//
+// Accounting invariant: for every subscriber, at every quiescent point,
+//
+//	offered == delivered + dropped + queued
+//
+// and a subscriber that unsubscribes has its still-queued records
+// folded into dropped, so the invariant degenerates to
+// offered == delivered + dropped once it is gone. A subscriber present
+// for a hub's whole lifetime has offered == hub published.
+type Hub struct {
+	reg        *obs.Registry
+	cPublished *obs.Counter
+	gSubs      *obs.Gauge
+
+	mu        sync.Mutex
+	subs      map[*Subscription]struct{}
+	closed    bool
+	published uint64
+}
+
+// NewHub builds a hub reporting into reg; nil falls back to the process
+// default registry.
+func NewHub(reg *obs.Registry) *Hub {
+	r := obs.Or(reg)
+	return &Hub{
+		reg:        r,
+		cPublished: r.Counter("wazabee_capture_published_total"),
+		gSubs:      r.Gauge("wazabee_capture_subscribers"),
+		subs:       make(map[*Subscription]struct{}),
+	}
+}
+
+// Subscribe registers a consumer under a name (the `subscriber` label
+// of its metric series) with a queue bounded at depth records.
+func (h *Hub) Subscribe(name string, depth int) (*Subscription, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("capture: subscription depth %d < 1", depth)
+	}
+	s := &Subscription{
+		hub:        h,
+		name:       name,
+		buf:        make([]Record, depth),
+		cOffered:   h.reg.Counter("wazabee_capture_offered_total", "subscriber", name),
+		cDelivered: h.reg.Counter("wazabee_capture_delivered_total", "subscriber", name),
+		cDropped:   h.reg.Counter("wazabee_capture_dropped_total", "subscriber", name),
+		gDepth:     h.reg.Gauge("wazabee_capture_queue_depth", "subscriber", name),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("capture: hub is closed")
+	}
+	h.subs[s] = struct{}{}
+	h.gSubs.Set(float64(len(h.subs)))
+	return s, nil
+}
+
+// Publish offers one record to every current subscriber and returns how
+// many were offered it. It never blocks on consumers; a full queue
+// drops its oldest record instead. Publishing on a closed hub is a
+// no-op returning zero.
+func (h *Hub) Publish(rec Record) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0
+	}
+	h.published++
+	h.cPublished.Inc()
+	for s := range h.subs {
+		s.offer(rec)
+	}
+	return len(h.subs)
+}
+
+// Published returns the number of records accepted by Publish.
+func (h *Hub) Published() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published
+}
+
+// Close ends the stream: subscribers drain whatever is already queued,
+// then their Recv returns false. Safe to call more than once.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscription, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = make(map[*Subscription]struct{})
+	h.gSubs.Set(0)
+	h.mu.Unlock()
+
+	for _, s := range subs {
+		s.finish()
+	}
+}
+
+func (h *Hub) remove(s *Subscription) {
+	h.mu.Lock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		h.gSubs.Set(float64(len(h.subs)))
+	}
+	h.mu.Unlock()
+}
+
+// SubStats is a subscription's accounting snapshot.
+type SubStats struct {
+	// Offered counts records the hub handed to this subscriber.
+	Offered uint64
+	// Delivered counts records the consumer actually received.
+	Delivered uint64
+	// Dropped counts records lost to the drop-oldest policy (plus any
+	// still queued at unsubscribe time).
+	Dropped uint64
+	// Queued is the current queue depth.
+	Queued int
+}
+
+// Subscription is one consumer's bounded view of a hub's stream.
+type Subscription struct {
+	hub  *Hub
+	name string
+
+	cOffered   *obs.Counter
+	cDelivered *obs.Counter
+	cDropped   *obs.Counter
+	gDepth     *obs.Gauge
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Record // ring buffer, fixed capacity
+	head   int
+	n      int
+	closed bool
+
+	offered, delivered, dropped uint64
+}
+
+// Name returns the subscriber label.
+func (s *Subscription) Name() string { return s.name }
+
+// offer enqueues a record, evicting the oldest when full (publisher side).
+func (s *Subscription) offer(rec Record) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.buf) {
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+		s.cDropped.Inc()
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = rec
+	s.n++
+	s.offered++
+	s.cOffered.Inc()
+	s.gDepth.Set(float64(s.n))
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// Recv blocks for the next record. It returns ok=false once the stream
+// has ended (hub closed or unsubscribed) and the queue is drained.
+func (s *Subscription) Recv() (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.n == 0 {
+		return Record{}, false
+	}
+	return s.pop(), true
+}
+
+// TryRecv returns the next queued record without blocking. ok=false
+// means the queue is momentarily empty (or the stream ended — check
+// Closed to tell them apart).
+func (s *Subscription) TryRecv() (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Record{}, false
+	}
+	return s.pop(), true
+}
+
+// pop removes the head record; callers hold s.mu.
+func (s *Subscription) pop() Record {
+	rec := s.buf[s.head]
+	s.buf[s.head] = Record{} // release references
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	s.delivered++
+	s.cDelivered.Inc()
+	s.gDepth.Set(float64(s.n))
+	return rec
+}
+
+// Closed reports whether the stream has ended (records may still be
+// queued).
+func (s *Subscription) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// finish ends the stream from the producer side, leaving the queue for
+// the consumer to drain.
+func (s *Subscription) finish() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close unsubscribes: no further records arrive and anything still
+// queued is discarded into the dropped count, preserving the
+// offered == delivered + dropped invariant. Safe to call more than
+// once, and after the hub itself closed.
+func (s *Subscription) Close() {
+	s.hub.remove(s)
+	s.mu.Lock()
+	if s.n > 0 {
+		s.dropped += uint64(s.n)
+		s.cDropped.Add(uint64(s.n))
+		for i := range s.buf {
+			s.buf[i] = Record{}
+		}
+		s.n = 0
+		s.gDepth.Set(0)
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats returns the subscription's current accounting.
+func (s *Subscription) Stats() SubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubStats{Offered: s.offered, Delivered: s.delivered, Dropped: s.dropped, Queued: s.n}
+}

@@ -1,0 +1,238 @@
+package capture
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"wazabee/internal/obs"
+)
+
+func testRecord(i int) Record {
+	return Record{At: time.Unix(int64(i), 0), Channel: 14, Decoder: "wazabee", PSDU: []byte{byte(i)}}
+}
+
+func TestHubFanOut(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+	a, err := hub.Subscribe("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Subscribe("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if n := hub.Publish(testRecord(i)); n != 2 {
+			t.Fatalf("publish reached %d subscribers, want 2", n)
+		}
+	}
+	hub.Close()
+	for _, sub := range []*Subscription{a, b} {
+		for i := 0; i < 5; i++ {
+			rec, ok := sub.Recv()
+			if !ok {
+				t.Fatalf("%s: stream ended at %d", sub.Name(), i)
+			}
+			if rec.PSDU[0] != byte(i) {
+				t.Errorf("%s: record %d out of order: %x", sub.Name(), i, rec.PSDU)
+			}
+		}
+		if _, ok := sub.Recv(); ok {
+			t.Errorf("%s: Recv returned a record after close+drain", sub.Name())
+		}
+		st := sub.Stats()
+		if st.Offered != 5 || st.Delivered != 5 || st.Dropped != 0 {
+			t.Errorf("%s: stats %+v, want 5/5/0", sub.Name(), st)
+		}
+	}
+}
+
+// TestHubDropOldest pins the backpressure policy: a full queue evicts
+// its oldest record, so a slow consumer sees the most recent traffic.
+func TestHubDropOldest(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+	sub, err := hub.Subscribe("slow", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		hub.Publish(testRecord(i))
+	}
+	st := sub.Stats()
+	if st.Offered != 5 || st.Dropped != 3 || st.Queued != 2 {
+		t.Fatalf("stats %+v, want offered 5, dropped 3, queued 2", st)
+	}
+	// The survivors are the two newest records, in order.
+	for _, want := range []byte{3, 4} {
+		rec, ok := sub.TryRecv()
+		if !ok || rec.PSDU[0] != want {
+			t.Fatalf("got %v/%v, want record %d", rec.PSDU, ok, want)
+		}
+	}
+	if got := reg.Counter("wazabee_capture_dropped_total", "subscriber", "slow").Value(); got != 3 {
+		t.Errorf("dropped counter %d, want 3", got)
+	}
+	if got := reg.Counter("wazabee_capture_delivered_total", "subscriber", "slow").Value(); got != 2 {
+		t.Errorf("delivered counter %d, want 2", got)
+	}
+	hub.Close()
+}
+
+func TestSubscriptionCloseCountsQueuedAsDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+	sub, err := hub.Subscribe("leaver", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		hub.Publish(testRecord(i))
+	}
+	sub.Close()
+	st := sub.Stats()
+	if st.Offered != 3 || st.Delivered != 0 || st.Dropped != 3 || st.Queued != 0 {
+		t.Fatalf("stats after unsubscribe %+v, want 3 offered all dropped", st)
+	}
+	// The hub no longer offers to it.
+	hub.Publish(testRecord(9))
+	if st := sub.Stats(); st.Offered != 3 {
+		t.Errorf("unsubscribed subscription still offered records: %+v", st)
+	}
+	hub.Close()
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	hub := NewHub(obs.NewRegistry())
+	if _, err := hub.Subscribe("x", 0); err == nil {
+		t.Error("accepted a zero-depth queue")
+	}
+	hub.Close()
+	if _, err := hub.Subscribe("late", 4); err == nil {
+		t.Error("subscribed to a closed hub")
+	}
+	if hub.Publish(testRecord(0)) != 0 {
+		t.Error("published on a closed hub")
+	}
+	hub.Close() // idempotent
+}
+
+// TestHubRaceHammer is the concurrency gate of the subsystem: one
+// producer, eight long-lived subscribers of varying speeds, plus four
+// goroutines churning subscribe/unsubscribe the whole time — run under
+// -race by the Makefile's ci target. Afterwards the accounting must be
+// exact for every subscriber: offered == delivered + dropped, the obs
+// counters must agree with the internal stats, and for the long-lived
+// subscribers offered == hub published, so
+// published − delivered == wazabee_capture_dropped_total.
+func TestHubRaceHammer(t *testing.T) {
+	const (
+		subscribers = 8
+		published   = 3000
+		churners    = 4
+	)
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+
+	var consumers sync.WaitGroup
+	subs := make([]*Subscription, subscribers)
+	for i := range subs {
+		sub, err := hub.Subscribe(fmt.Sprintf("sub%d", i), 2+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+		consumers.Add(1)
+		go func(i int, sub *Subscription) {
+			defer consumers.Done()
+			for {
+				if _, ok := sub.Recv(); !ok {
+					return
+				}
+				if i%2 == 0 {
+					// Half the consumers yield constantly so the
+					// drop-oldest path actually runs.
+					runtime.Gosched()
+				}
+			}
+		}(i, sub)
+	}
+
+	stopChurn := make(chan struct{})
+	var churn sync.WaitGroup
+	for g := 0; g < churners; g++ {
+		churn.Add(1)
+		go func(g int) {
+			defer churn.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stopChurn:
+					return
+				default:
+				}
+				sub, err := hub.Subscribe(fmt.Sprintf("churn%d-%d", g, n), 2)
+				if err != nil {
+					return // hub closed
+				}
+				sub.TryRecv()
+				sub.Close()
+				if st := sub.Stats(); st.Offered != st.Delivered+st.Dropped {
+					t.Errorf("churn sub %s: offered %d != delivered %d + dropped %d",
+						sub.Name(), st.Offered, st.Delivered, st.Dropped)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for i := 0; i < published; i++ {
+		hub.Publish(testRecord(i))
+	}
+	close(stopChurn)
+	churn.Wait()
+	hub.Close()
+	consumers.Wait()
+
+	if got := hub.Published(); got != published {
+		t.Fatalf("hub published %d, want %d", got, published)
+	}
+	if got := reg.Counter("wazabee_capture_published_total").Value(); got != published {
+		t.Fatalf("published counter %d, want %d", got, published)
+	}
+	sawDrop := false
+	for i, sub := range subs {
+		name := fmt.Sprintf("sub%d", i)
+		st := sub.Stats()
+		if st.Offered != published {
+			t.Errorf("%s offered %d, want %d (subscribed for the whole run)", name, st.Offered, published)
+		}
+		if st.Queued != 0 {
+			t.Errorf("%s still queues %d records after drain", name, st.Queued)
+		}
+		if st.Offered != st.Delivered+st.Dropped {
+			t.Errorf("%s: offered %d != delivered %d + dropped %d", name, st.Offered, st.Delivered, st.Dropped)
+		}
+		// The obs counters are the same numbers, exactly.
+		if got := reg.Counter("wazabee_capture_delivered_total", "subscriber", name).Value(); got != st.Delivered {
+			t.Errorf("%s delivered counter %d, want %d", name, got, st.Delivered)
+		}
+		dropped := reg.Counter("wazabee_capture_dropped_total", "subscriber", name).Value()
+		if dropped != st.Dropped {
+			t.Errorf("%s dropped counter %d, want %d", name, dropped, st.Dropped)
+		}
+		// The acceptance identity: published − delivered = dropped.
+		if published-st.Delivered != dropped {
+			t.Errorf("%s: published %d − delivered %d != dropped %d", name, published, st.Delivered, dropped)
+		}
+		if st.Dropped > 0 {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Log("warning: no subscriber dropped anything; backpressure path not exercised this run")
+	}
+}

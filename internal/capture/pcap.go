@@ -1,0 +1,288 @@
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wazabee/internal/obs"
+)
+
+// LinkTypeIEEE802154WithFCS is the libpcap link type of raw IEEE
+// 802.15.4 frames whose trailing two bytes are the FCS — exactly the
+// PSDU the WazaBee receiver recovers. Wireshark dissects it natively.
+const LinkTypeIEEE802154WithFCS = 195
+
+const (
+	pcapMagicMicros = 0xa1b2c3d4
+	pcapMagicNanos  = 0xa1b23c4d
+	pcapSnapLen     = 65535
+	// pcapMaxPacket rejects absurd per-packet lengths before allocating,
+	// so a corrupt or adversarial file cannot force a huge allocation.
+	pcapMaxPacket = 0x40000
+)
+
+// PCAPWriter streams records into the classic libpcap file format
+// (little-endian, microsecond timestamps, link type 195).
+type PCAPWriter struct {
+	w       io.Writer
+	packets int
+}
+
+// NewPCAPWriter writes the 24-byte global header and returns a writer.
+func NewPCAPWriter(w io.Writer) (*PCAPWriter, error) {
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], pcapMagicMicros)
+	le.PutUint16(hdr[4:], 2) // version 2.4
+	le.PutUint16(hdr[6:], 4)
+	// thiszone and sigfigs stay zero.
+	le.PutUint32(hdr[16:], pcapSnapLen)
+	le.PutUint32(hdr[20:], LinkTypeIEEE802154WithFCS)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("capture: pcap header: %w", err)
+	}
+	return &PCAPWriter{w: w}, nil
+}
+
+// WritePacket appends one captured frame with the given timestamp.
+func (pw *PCAPWriter) WritePacket(at time.Time, data []byte) error {
+	if len(data) > pcapSnapLen {
+		return fmt.Errorf("capture: packet %d bytes exceeds snap length %d", len(data), pcapSnapLen)
+	}
+	var hdr [16]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], uint32(at.Unix()))
+	le.PutUint32(hdr[4:], uint32(at.Nanosecond()/1000))
+	le.PutUint32(hdr[8:], uint32(len(data)))
+	le.PutUint32(hdr[12:], uint32(len(data)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(data); err != nil {
+		return err
+	}
+	pw.packets++
+	return nil
+}
+
+// WriteRecord appends a record's PSDU. Records without a PSDU (raw
+// captures that never decoded) are skipped silently: a pcap of link
+// type 195 can only carry frames.
+func (pw *PCAPWriter) WriteRecord(rec Record) error {
+	if len(rec.PSDU) == 0 {
+		return nil
+	}
+	return pw.WritePacket(rec.At, rec.PSDU)
+}
+
+// Packets returns the number of packets written so far.
+func (pw *PCAPWriter) Packets() int { return pw.packets }
+
+// PCAPReader iterates over the packets of a classic pcap stream. It
+// accepts both byte orders and both timestamp resolutions (microsecond
+// magic 0xa1b2c3d4, nanosecond magic 0xa1b23c4d).
+type PCAPReader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	linkType uint32
+}
+
+// NewPCAPReader validates the global header.
+func NewPCAPReader(r io.Reader) (*PCAPReader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("capture: pcap header: %w", err)
+	}
+	pr := &PCAPReader{r: r}
+	switch magic := binary.LittleEndian.Uint32(hdr[0:]); magic {
+	case pcapMagicMicros:
+		pr.order = binary.LittleEndian
+	case pcapMagicNanos:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	default:
+		switch magic := binary.BigEndian.Uint32(hdr[0:]); magic {
+		case pcapMagicMicros:
+			pr.order = binary.BigEndian
+		case pcapMagicNanos:
+			pr.order, pr.nanos = binary.BigEndian, true
+		default:
+			return nil, fmt.Errorf("capture: not a pcap stream (magic %#08x)", magic)
+		}
+	}
+	if major := pr.order.Uint16(hdr[4:]); major != 2 {
+		return nil, fmt.Errorf("capture: unsupported pcap version %d", major)
+	}
+	pr.linkType = pr.order.Uint32(hdr[20:])
+	return pr, nil
+}
+
+// LinkType returns the file's link type field.
+func (pr *PCAPReader) LinkType() uint32 { return pr.linkType }
+
+// Next returns the next packet, or io.EOF at a clean end of stream.
+func (pr *PCAPReader) Next() (time.Time, []byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("capture: truncated packet header")
+		}
+		return time.Time{}, nil, err
+	}
+	sec := pr.order.Uint32(hdr[0:])
+	sub := pr.order.Uint32(hdr[4:])
+	incl := pr.order.Uint32(hdr[8:])
+	if incl > pcapMaxPacket {
+		return time.Time{}, nil, fmt.Errorf("capture: packet length %d exceeds sanity limit", incl)
+	}
+	data := make([]byte, incl)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return time.Time{}, nil, fmt.Errorf("capture: truncated packet body: %w", err)
+	}
+	ns := int64(sub)
+	if !pr.nanos {
+		ns *= 1000
+	}
+	return time.Unix(int64(sec), ns), data, nil
+}
+
+// ReadAll drains the stream into records. The decoder tag is "pcap" and
+// the channel is zero: link type 195 carries no radio header, so that
+// metadata does not survive a pcap round trip (ZEP and the record wire
+// format do preserve it).
+func (pr *PCAPReader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		at, data, err := pr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Record{At: at, Decoder: "pcap", PSDU: data})
+	}
+}
+
+// OpenPCAP reads a whole capture file into records.
+func OpenPCAP(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pr, err := NewPCAPReader(f)
+	if err != nil {
+		return nil, err
+	}
+	if pr.LinkType() != LinkTypeIEEE802154WithFCS {
+		return nil, fmt.Errorf("capture: %s has link type %d, want %d (IEEE 802.15.4 with FCS)",
+			path, pr.LinkType(), LinkTypeIEEE802154WithFCS)
+	}
+	return pr.ReadAll()
+}
+
+// WritePCAP saves records to a capture file.
+func WritePCAP(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	pw, err := NewPCAPWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, rec := range records {
+		if err := pw.WriteRecord(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// RotatingPCAP writes records to a pcap file and rotates it once it
+// exceeds a byte budget: the active file is always at Path; full files
+// move aside to Path.1, Path.2, … in capture order. Safe for use from
+// one writer goroutine at a time (wazabeed dedicates a hub subscription
+// to it).
+type RotatingPCAP struct {
+	path     string
+	maxBytes int64
+	reg      *obs.Registry
+
+	f       *os.File
+	w       *PCAPWriter
+	written int64
+	seq     int
+	packets int
+}
+
+// OpenRotatingPCAP starts a rotating capture at path. maxBytes <= 0
+// disables rotation. reg receives the pcap byte/packet/rotation
+// counters; nil falls back to the process default registry.
+func OpenRotatingPCAP(path string, maxBytes int64, reg *obs.Registry) (*RotatingPCAP, error) {
+	r := &RotatingPCAP{path: path, maxBytes: maxBytes, reg: obs.Or(reg)}
+	if err := r.open(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RotatingPCAP) open() error {
+	f, err := os.Create(r.path)
+	if err != nil {
+		return err
+	}
+	w, err := NewPCAPWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	r.f, r.w, r.written = f, w, 24
+	return nil
+}
+
+// WriteRecord appends one record, rotating first when the active file
+// would exceed the byte budget.
+func (r *RotatingPCAP) WriteRecord(rec Record) error {
+	if len(rec.PSDU) == 0 {
+		return nil
+	}
+	need := int64(16 + len(rec.PSDU))
+	if r.maxBytes > 0 && r.written > 24 && r.written+need > r.maxBytes {
+		if err := r.rotate(); err != nil {
+			return err
+		}
+	}
+	if err := r.w.WriteRecord(rec); err != nil {
+		return err
+	}
+	r.written += need
+	r.packets++
+	r.reg.Counter("wazabee_capture_pcap_packets_total").Inc()
+	r.reg.Counter("wazabee_capture_pcap_bytes_total").Add(uint64(need))
+	return nil
+}
+
+func (r *RotatingPCAP) rotate() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	r.seq++
+	if err := os.Rename(r.path, fmt.Sprintf("%s.%d", r.path, r.seq)); err != nil {
+		return err
+	}
+	r.reg.Counter("wazabee_capture_pcap_rotations_total").Inc()
+	return r.open()
+}
+
+// Packets returns the total packets written across every rotation.
+func (r *RotatingPCAP) Packets() int { return r.packets }
+
+// Close flushes and closes the active file.
+func (r *RotatingPCAP) Close() error { return r.f.Close() }

@@ -1,0 +1,184 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPCAPGoldenBytes pins the exact on-disk byte stream: the classic
+// little-endian microsecond pcap header with link type 195 and one
+// packet. Any change here breaks Wireshark compatibility.
+func TestPCAPGoldenBytes(t *testing.T) {
+	var buf bytes.Buffer
+	pw, err := NewPCAPWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		At:      time.Unix(0x60000000, 123456000), // 123456 µs
+		Channel: 14,
+		PSDU:    []byte{0x01, 0x02, 0x03, 0xaa, 0xbb},
+	}
+	if err := pw.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := "" +
+		// global header: magic, v2.4, thiszone, sigfigs, snaplen 65535, linktype 195
+		"d4c3b2a1" + "0200" + "0400" + "00000000" + "00000000" + "ffff0000" + "c3000000" +
+		// packet header: ts_sec 0x60000000, ts_usec 123456, incl 5, orig 5
+		"00000060" + "40e20100" + "05000000" + "05000000" +
+		// the PSDU, verbatim
+		"010203aabb"
+	if got := hex.EncodeToString(buf.Bytes()); got != golden {
+		t.Fatalf("pcap byte stream changed:\n got  %s\n want %s", got, golden)
+	}
+}
+
+func TestPCAPRoundTrip(t *testing.T) {
+	records := []Record{
+		{At: time.Unix(100, 1000), Channel: 14, PSDU: []byte{0xde, 0xad}},
+		{At: time.Unix(101, 2000), Channel: 14, PSDU: bytes.Repeat([]byte{0x55}, 127)},
+		{At: time.Unix(102, 0), Channel: 14, Decoder: "raw"}, // no PSDU: skipped
+	}
+	path := filepath.Join(t.TempDir(), "round.pcap")
+	if err := WritePCAP(path, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenPCAP(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d packets, want 2 (the raw record has no frame)", len(got))
+	}
+	for i, rec := range got {
+		if !bytes.Equal(rec.PSDU, records[i].PSDU) {
+			t.Errorf("packet %d PSDU %x, want %x", i, rec.PSDU, records[i].PSDU)
+		}
+		// Microsecond resolution: the timestamp survives to the µs.
+		if !rec.At.Equal(records[i].At.Truncate(time.Microsecond)) {
+			t.Errorf("packet %d timestamp %v, want %v", i, rec.At, records[i].At)
+		}
+		if rec.Decoder != "pcap" {
+			t.Errorf("packet %d decoder %q, want pcap", i, rec.Decoder)
+		}
+	}
+
+	// A second write of the same records is byte-identical.
+	var a, b bytes.Buffer
+	for _, w := range []*bytes.Buffer{&a, &b} {
+		pw, err := NewPCAPWriter(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range records {
+			if err := pw.WriteRecord(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("pcap encoding is not deterministic")
+	}
+}
+
+func TestPCAPReaderRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("EX"),
+		"wrong magic": bytes.Repeat([]byte{0x42}, 24),
+	}
+	for name, data := range cases {
+		if _, err := NewPCAPReader(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: reader accepted invalid header", name)
+		}
+	}
+
+	// Valid header, absurd packet length: rejected before allocation.
+	var buf bytes.Buffer
+	if _, err := NewPCAPWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	pr, err := NewPCAPReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pr.Next(); err == nil {
+		t.Error("reader accepted a 2 GiB packet header")
+	}
+}
+
+func TestRotatingPCAP(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rot.pcap")
+	// Budget fits the header plus one 10-byte packet (24 + 16 + 10 = 50),
+	// so every second packet forces a rotation.
+	rot, err := OpenRotatingPCAP(path, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := bytes.Repeat([]byte{0xab}, 10)
+	for i := 0; i < 3; i++ {
+		if err := rot.WriteRecord(Record{At: time.Unix(int64(i), 0), Channel: 14, PSDU: psdu}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rot.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rot.Packets() != 3 {
+		t.Errorf("wrote %d packets, want 3", rot.Packets())
+	}
+	for _, name := range []string{"rot.pcap", "rot.pcap.1", "rot.pcap.2"} {
+		recs, err := OpenPCAP(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) != 1 {
+			t.Errorf("%s holds %d packets, want 1", name, len(recs))
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rot.pcap.3")); err == nil {
+		t.Error("unexpected third rotation")
+	}
+}
+
+func TestOpenPCAPRejectsWrongLinkType(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ether.pcap")
+	var hdr [24]byte
+	copy(hdr[:4], []byte{0xd4, 0xc3, 0xb2, 0xa1})
+	hdr[4] = 2
+	hdr[20] = 1 // LINKTYPE_ETHERNET
+	if err := os.WriteFile(path, hdr[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPCAP(path); err == nil {
+		t.Error("OpenPCAP accepted an Ethernet capture")
+	}
+}
+
+func TestPCAPReaderTruncatedPacket(t *testing.T) {
+	var buf bytes.Buffer
+	pw, err := NewPCAPWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.WritePacket(time.Unix(0, 0), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	pr, err := NewPCAPReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pr.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated body returned %v, want a descriptive error", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package capture is the persistence and distribution layer of the
+// reproduction: what turns the WazaBee reception primitive from a
+// print-and-drop demo into a serving-shaped pipeline. It provides
+//
+//   - Record, the timestamped frame record every producer publishes
+//     (channel, RSSI/SNR, decoder kind, PSDU) with a compact
+//     length-prefixed binary encoding for TCP streaming;
+//   - a classic PCAP writer/reader (LINKTYPE_IEEE802_15_4_WITHFCS, 195)
+//     and a ZEP v2 (Zigbee Encapsulation Protocol, UDP/17754)
+//     encoder/decoder, so captures open directly in Wireshark;
+//   - Hub, a concurrency-safe fan-out from one producer to N bounded
+//     subscriber queues with an explicit drop-oldest backpressure
+//     policy, accounted in the internal/obs registry;
+//   - deterministic replay of recorded captures back through the
+//     simulated radio medium into any receiver, so a saved capture
+//     becomes a reproducible regression input.
+//
+// Everything is standard library only, matching the module's empty
+// dependency set.
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"wazabee/internal/dsp"
+)
+
+// Record is one captured 802.15.4 frame with its radio metadata — the
+// unit every capture sink (pcap file, ZEP datagram, TCP subscriber,
+// replay engine) consumes.
+type Record struct {
+	// At is the capture timestamp.
+	At time.Time
+	// Channel is the 802.15.4 channel (11–26) the frame was heard on;
+	// zero means unknown (e.g. a record recovered from a bare pcap,
+	// whose link type carries no radio header).
+	Channel int
+	// RSSIdBm is the received signal strength indication.
+	RSSIdBm float64
+	// SNRdB is the link signal-to-noise ratio, when the producer knows
+	// it (a simulation does; zero otherwise).
+	SNRdB float64
+	// LQI is the 802.15.4 link quality indication (0–255).
+	LQI uint8
+	// Decoder identifies the receive pipeline that produced the record:
+	// "wazabee" for the diverted-BLE primitive, "oqpsk" for the
+	// legitimate demodulator, "raw" for an undecoded capture.
+	Decoder string
+	// PSDU is the MAC frame including the trailing two-byte FCS. Empty
+	// for a "raw" record (sync loss — the waveform was heard but never
+	// decoded).
+	PSDU []byte
+
+	// IQ optionally carries the baseband waveform the record was
+	// decoded from, for in-process consumers such as the IDS that work
+	// below the frame level. It is never serialised by any encoder.
+	IQ dsp.IQ
+}
+
+// Clone returns a record with its own copy of the PSDU (the IQ buffer,
+// in-memory only, is shared).
+func (r Record) Clone() Record {
+	cp := r
+	cp.PSDU = append([]byte(nil), r.PSDU...)
+	return cp
+}
+
+// Binary record layout (version 1, all integers big-endian):
+//
+//	version   uint8  = 1
+//	flags     uint8  = 0 (reserved)
+//	at        int64  Unix nanoseconds
+//	channel   uint8
+//	lqi       uint8
+//	rssi_dbm  uint64 IEEE-754 bits
+//	snr_db    uint64 IEEE-754 bits
+//	decoder   uint8 length + bytes
+//	psdu      uint8 length + bytes
+const recordVersion = 1
+
+// maxRecordWire bounds the size of one encoded record: the fixed header
+// plus two maximal length-prefixed fields.
+const maxRecordWire = 28 + 255 + 127
+
+// MarshalBinary encodes the record in the version-1 wire layout.
+func (r Record) MarshalBinary() ([]byte, error) {
+	if r.Channel < 0 || r.Channel > 255 {
+		return nil, fmt.Errorf("capture: channel %d outside uint8 range", r.Channel)
+	}
+	if len(r.Decoder) > 255 {
+		return nil, fmt.Errorf("capture: decoder tag %d bytes long", len(r.Decoder))
+	}
+	if len(r.PSDU) > 255 {
+		return nil, fmt.Errorf("capture: PSDU %d bytes exceeds one octet length", len(r.PSDU))
+	}
+	b := make([]byte, 0, 28+len(r.Decoder)+len(r.PSDU))
+	b = append(b, recordVersion, 0)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.At.UnixNano()))
+	b = append(b, uint8(r.Channel), r.LQI)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.RSSIdBm))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.SNRdB))
+	b = append(b, uint8(len(r.Decoder)))
+	b = append(b, r.Decoder...)
+	b = append(b, uint8(len(r.PSDU)))
+	b = append(b, r.PSDU...)
+	return b, nil
+}
+
+// UnmarshalBinary decodes a version-1 record. It validates every length
+// before reading, so corrupt input yields an error, never a panic.
+func (r *Record) UnmarshalBinary(b []byte) error {
+	if len(b) < 28 {
+		return fmt.Errorf("capture: record truncated at %d bytes", len(b))
+	}
+	if b[0] != recordVersion {
+		return fmt.Errorf("capture: unsupported record version %d", b[0])
+	}
+	at := int64(binary.BigEndian.Uint64(b[2:10]))
+	channel := int(b[10])
+	lqi := b[11]
+	rssi := math.Float64frombits(binary.BigEndian.Uint64(b[12:20]))
+	snr := math.Float64frombits(binary.BigEndian.Uint64(b[20:28]))
+	rest := b[28:]
+	if len(rest) < 1 {
+		return fmt.Errorf("capture: record missing decoder tag")
+	}
+	dlen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < dlen {
+		return fmt.Errorf("capture: decoder tag truncated (%d < %d)", len(rest), dlen)
+	}
+	decoder := string(rest[:dlen])
+	rest = rest[dlen:]
+	if len(rest) < 1 {
+		return fmt.Errorf("capture: record missing PSDU length")
+	}
+	plen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < plen {
+		return fmt.Errorf("capture: PSDU truncated (%d < %d)", len(rest), plen)
+	}
+	*r = Record{
+		At:      time.Unix(0, at),
+		Channel: channel,
+		RSSIdBm: rssi,
+		SNRdB:   snr,
+		LQI:     lqi,
+		Decoder: decoder,
+		PSDU:    append([]byte(nil), rest[:plen]...),
+	}
+	return nil
+}
+
+// WriteRecord frames one record onto a stream as a big-endian uint32
+// length prefix followed by the record's binary encoding — the TCP
+// subscriber protocol of wazabeed.
+func WriteRecord(w io.Writer, rec Record) error {
+	body, err := rec.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadRecord reads one length-prefixed record from a stream. It returns
+// io.EOF at a clean end of stream (no bytes read).
+func ReadRecord(r io.Reader) (Record, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("capture: truncated record length prefix")
+		}
+		return Record{}, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxRecordWire {
+		return Record{}, fmt.Errorf("capture: record length %d exceeds maximum %d", n, maxRecordWire)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, fmt.Errorf("capture: truncated record body: %w", err)
+	}
+	var rec Record
+	if err := rec.UnmarshalBinary(body); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

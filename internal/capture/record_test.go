@@ -1,0 +1,97 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRecordBinaryRoundTrip(t *testing.T) {
+	rec := Record{
+		At:      time.Unix(1700000000, 123456789),
+		Channel: 14,
+		RSSIdBm: -61.25,
+		SNRdB:   22,
+		LQI:     248,
+		Decoder: "wazabee",
+		PSDU:    []byte{0x61, 0x88, 0x01, 0x34, 0x12},
+	}
+	b, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !got.At.Equal(rec.At) {
+		t.Errorf("At %v, want %v", got.At, rec.At)
+	}
+	if got.Channel != rec.Channel || got.LQI != rec.LQI || got.Decoder != rec.Decoder {
+		t.Errorf("metadata %d/%d/%q, want %d/%d/%q",
+			got.Channel, got.LQI, got.Decoder, rec.Channel, rec.LQI, rec.Decoder)
+	}
+	if got.RSSIdBm != rec.RSSIdBm || got.SNRdB != rec.SNRdB {
+		t.Errorf("RSSI/SNR %g/%g, want %g/%g", got.RSSIdBm, got.SNRdB, rec.RSSIdBm, rec.SNRdB)
+	}
+	if !bytes.Equal(got.PSDU, rec.PSDU) {
+		t.Errorf("PSDU %x, want %x", got.PSDU, rec.PSDU)
+	}
+}
+
+func TestRecordStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Record{
+		{At: time.Unix(1, 0), Channel: 14, Decoder: "wazabee", PSDU: []byte{1}},
+		{At: time.Unix(2, 0), Channel: 15, Decoder: "oqpsk", PSDU: bytes.Repeat([]byte{2}, 127)},
+		{At: time.Unix(3, 0), Channel: 16, Decoder: "raw"},
+	}
+	for _, rec := range want {
+		if err := WriteRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		got, err := ReadRecord(&buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Channel != w.Channel || got.Decoder != w.Decoder || !bytes.Equal(got.PSDU, w.PSDU) {
+			t.Errorf("record %d mismatch: %+v", i, got)
+		}
+	}
+	if _, err := ReadRecord(&buf); err != io.EOF {
+		t.Errorf("drained stream returned %v, want io.EOF", err)
+	}
+}
+
+func TestReadRecordRejectsCorruptStream(t *testing.T) {
+	// Oversized length prefix: rejected before allocating.
+	if _, err := ReadRecord(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Error("accepted a 4 GiB record length")
+	}
+	// Truncated body.
+	if _, err := ReadRecord(bytes.NewReader([]byte{0, 0, 0, 40, 1, 2, 3})); err == nil {
+		t.Error("accepted a truncated body")
+	}
+	// Bad version.
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, Record{At: time.Unix(0, 0), Channel: 14, PSDU: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // first body byte is the version
+	if _, err := ReadRecord(bytes.NewReader(raw)); err == nil {
+		t.Error("accepted an unknown record version")
+	}
+}
+
+func TestMarshalRejectsInvalidRecords(t *testing.T) {
+	if _, err := (Record{Channel: -1}).MarshalBinary(); err == nil {
+		t.Error("marshalled a negative channel")
+	}
+	if _, err := (Record{PSDU: make([]byte, 300)}).MarshalBinary(); err == nil {
+		t.Error("marshalled an oversized PSDU")
+	}
+}

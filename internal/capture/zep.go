@@ -1,0 +1,127 @@
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// ZEP v2 — the Zigbee Encapsulation Protocol used by 802.15.4 sniffers
+// (exegin, Wireshark's packet-zep dissector) to ship frames with their
+// radio metadata over UDP. A v2 data packet is a fixed 32-byte header
+// followed by the frame:
+//
+//	offset  size  field
+//	0       2     preamble "EX"
+//	2       1     version (2)
+//	3       1     type (1 = data, 2 = ack)
+//	4       1     802.15.4 channel
+//	5       2     device id (big-endian)
+//	7       1     CRC/LQI mode (1 = payload ends with the real FCS)
+//	8       1     LQI
+//	9       8     NTP timestamp (seconds + fraction, big-endian)
+//	17      4     sequence number (big-endian)
+//	21      10    reserved
+//	31      1     payload length
+//	32      n     payload (the PSDU, FCS included)
+const (
+	// ZEPPort is the IANA-registered UDP port of the protocol.
+	ZEPPort = 17754
+
+	zepHeaderLen = 32
+	zepVersion   = 2
+	zepTypeData  = 1
+	zepTypeAck   = 2
+	// zepModeCRC marks the last two payload bytes as the genuine FCS —
+	// true for WazaBee captures, which receive with CRC checking
+	// disabled and keep the FCS bytes in the PSDU.
+	zepModeCRC = 1
+
+	// ntpEpochOffset converts between the Unix epoch (1970) and the NTP
+	// epoch (1900) in seconds.
+	ntpEpochOffset = 2208988800
+)
+
+// EncodeZEP packs a record and a stream sequence number into one ZEP v2
+// data datagram.
+func EncodeZEP(rec Record, deviceID uint16, seq uint32) ([]byte, error) {
+	if rec.Channel < 0 || rec.Channel > 255 {
+		return nil, fmt.Errorf("capture: channel %d outside uint8 range", rec.Channel)
+	}
+	if len(rec.PSDU) == 0 || len(rec.PSDU) > 255 {
+		return nil, fmt.Errorf("capture: ZEP payload must be 1–255 bytes, have %d", len(rec.PSDU))
+	}
+	b := make([]byte, zepHeaderLen, zepHeaderLen+len(rec.PSDU))
+	b[0], b[1] = 'E', 'X'
+	b[2] = zepVersion
+	b[3] = zepTypeData
+	b[4] = uint8(rec.Channel)
+	binary.BigEndian.PutUint16(b[5:], deviceID)
+	b[7] = zepModeCRC
+	b[8] = rec.LQI
+	sec, frac := toNTP(rec.At)
+	binary.BigEndian.PutUint32(b[9:], sec)
+	binary.BigEndian.PutUint32(b[13:], frac)
+	binary.BigEndian.PutUint32(b[17:], seq)
+	b[31] = uint8(len(rec.PSDU))
+	return append(b, rec.PSDU...), nil
+}
+
+// DecodeZEP parses a ZEP v2 data datagram back into a record (decoder
+// tag "zep") plus the device id and sequence number. Corrupt input
+// yields an error, never a panic; v2 ack packets are rejected with a
+// descriptive error (they carry no frame).
+func DecodeZEP(b []byte) (Record, uint16, uint32, error) {
+	if len(b) < 4 {
+		return Record{}, 0, 0, fmt.Errorf("capture: ZEP datagram truncated at %d bytes", len(b))
+	}
+	if b[0] != 'E' || b[1] != 'X' {
+		return Record{}, 0, 0, fmt.Errorf("capture: bad ZEP preamble %q", b[:2])
+	}
+	if b[2] != zepVersion {
+		return Record{}, 0, 0, fmt.Errorf("capture: unsupported ZEP version %d", b[2])
+	}
+	switch b[3] {
+	case zepTypeData:
+	case zepTypeAck:
+		return Record{}, 0, 0, fmt.Errorf("capture: ZEP ack carries no frame")
+	default:
+		return Record{}, 0, 0, fmt.Errorf("capture: unknown ZEP type %d", b[3])
+	}
+	if len(b) < zepHeaderLen {
+		return Record{}, 0, 0, fmt.Errorf("capture: ZEP data header truncated at %d bytes", len(b))
+	}
+	plen := int(b[31])
+	if plen == 0 {
+		return Record{}, 0, 0, fmt.Errorf("capture: ZEP data packet with empty payload")
+	}
+	if len(b) < zepHeaderLen+plen {
+		return Record{}, 0, 0, fmt.Errorf("capture: ZEP payload truncated (%d < %d)", len(b)-zepHeaderLen, plen)
+	}
+	rec := Record{
+		At:      fromNTP(binary.BigEndian.Uint32(b[9:]), binary.BigEndian.Uint32(b[13:])),
+		Channel: int(b[4]),
+		LQI:     b[8],
+		Decoder: "zep",
+		PSDU:    append([]byte(nil), b[zepHeaderLen:zepHeaderLen+plen]...),
+	}
+	deviceID := binary.BigEndian.Uint16(b[5:])
+	seq := binary.BigEndian.Uint32(b[17:])
+	return rec, deviceID, seq, nil
+}
+
+// toNTP converts a wall-clock time to the 64-bit NTP format: seconds
+// since 1900 and a 2^-32 s binary fraction.
+func toNTP(t time.Time) (sec, frac uint32) {
+	sec = uint32(t.Unix() + ntpEpochOffset)
+	frac = uint32((uint64(t.Nanosecond()) << 32) / 1_000_000_000)
+	return sec, frac
+}
+
+// fromNTP is the inverse; sub-second precision is the fraction's 2^-32 s
+// granularity, so a round trip can floor the nanosecond count by one.
+func fromNTP(sec, frac uint32) time.Time {
+	unix := int64(sec) - ntpEpochOffset
+	ns := (uint64(frac) * 1_000_000_000) >> 32
+	return time.Unix(unix, int64(ns))
+}

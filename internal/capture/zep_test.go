@@ -1,0 +1,112 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"time"
+)
+
+// TestZEPGoldenBytes pins one complete ZEP v2 data datagram, byte for
+// byte — the exact payload Wireshark's packet-zep dissector expects on
+// UDP/17754.
+func TestZEPGoldenBytes(t *testing.T) {
+	rec := Record{
+		// Unix 1.5 s → NTP seconds 2208988801 (0x83aa7e81), fraction
+		// 0.5 → 0x80000000.
+		At:      time.Unix(1, 500000000),
+		Channel: 14,
+		LQI:     200,
+		PSDU:    []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	got, err := EncodeZEP(rec, 0x5742, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "" +
+		"4558" + // "EX"
+		"02" + // version 2
+		"01" + // type: data
+		"0e" + // channel 14
+		"5742" + // device id
+		"01" + // CRC mode: payload ends with the real FCS
+		"c8" + // LQI 200
+		"83aa7e81" + "80000000" + // NTP timestamp
+		"00000007" + // sequence
+		"00000000000000000000" + // reserved
+		"04" + // length
+		"deadbeef"
+	if hex.EncodeToString(got) != golden {
+		t.Fatalf("ZEP datagram changed:\n got  %s\n want %s", hex.EncodeToString(got), golden)
+	}
+}
+
+func TestZEPRoundTrip(t *testing.T) {
+	rec := Record{
+		At:      time.Unix(1700000000, 987654321),
+		Channel: 26,
+		LQI:     63,
+		PSDU:    bytes.Repeat([]byte{0x3c}, 127),
+	}
+	datagram, err := EncodeZEP(rec, 0xbeef, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, deviceID, seq, err := DecodeZEP(datagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviceID != 0xbeef || seq != 42 {
+		t.Errorf("device/seq %#x/%d, want 0xbeef/42", deviceID, seq)
+	}
+	if got.Channel != rec.Channel || got.LQI != rec.LQI {
+		t.Errorf("channel/LQI %d/%d, want %d/%d", got.Channel, got.LQI, rec.Channel, rec.LQI)
+	}
+	if !bytes.Equal(got.PSDU, rec.PSDU) {
+		t.Errorf("PSDU %x, want %x", got.PSDU, rec.PSDU)
+	}
+	if got.Decoder != "zep" {
+		t.Errorf("decoder %q, want zep", got.Decoder)
+	}
+	// The NTP fraction has 2^-32 s granularity: the timestamp survives
+	// to within a nanosecond or two.
+	if d := got.At.Sub(rec.At); d < -2*time.Nanosecond || d > 2*time.Nanosecond {
+		t.Errorf("timestamp drifted %v over the round trip", d)
+	}
+}
+
+func TestZEPDecodeRejectsCorruptInput(t *testing.T) {
+	rec := Record{At: time.Unix(5, 0), Channel: 14, LQI: 1, PSDU: []byte{1, 2, 3}}
+	good, err := EncodeZEP(rec, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"short":             good[:3],
+		"bad preamble":      append([]byte("XX"), good[2:]...),
+		"bad version":       append([]byte{'E', 'X', 9}, good[3:]...),
+		"ack":               {'E', 'X', 2, 2, 0, 0, 0, 1},
+		"unknown type":      append([]byte{'E', 'X', 2, 7}, good[4:]...),
+		"truncated header":  good[:20],
+		"truncated payload": good[:len(good)-1],
+		"zero payload":      func() []byte { b := append([]byte(nil), good[:32]...); b[31] = 0; return b }(),
+	}
+	for name, data := range cases {
+		if _, _, _, err := DecodeZEP(data); err == nil {
+			t.Errorf("%s: decoder accepted corrupt datagram", name)
+		}
+	}
+}
+
+func TestZEPEncodeRejectsInvalidRecords(t *testing.T) {
+	if _, err := EncodeZEP(Record{Channel: 14}, 0, 0); err == nil {
+		t.Error("encoded a record with no PSDU")
+	}
+	if _, err := EncodeZEP(Record{Channel: 300, PSDU: []byte{1}}, 0, 0); err == nil {
+		t.Error("encoded an out-of-range channel")
+	}
+	if _, err := EncodeZEP(Record{Channel: 14, PSDU: bytes.Repeat([]byte{1}, 256)}, 0, 0); err == nil {
+		t.Error("encoded an oversized payload")
+	}
+}

@@ -139,3 +139,16 @@ func (m *Medium) Deliver(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (d
 	}
 	return out, nil
 }
+
+// Replay is the injection point for recorded captures: it propagates a
+// burst that originally aired at txFreqMHz to a receiver tuned to
+// rxFreqMHz, exactly like Deliver, but accounts the burst separately so
+// telemetry distinguishes replayed traffic from live traffic.
+func (m *Medium) Replay(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (dsp.IQ, error) {
+	out, err := m.Deliver(sig, txFreqMHz, rxFreqMHz, link)
+	if err != nil {
+		return nil, err
+	}
+	obs.Or(m.Obs).Counter("wazabee_medium_replayed_total").Inc()
+	return out, nil
+}

@@ -8,6 +8,20 @@ import (
 	"wazabee/internal/dsp"
 )
 
+// Capture couples one attacker-audible waveform with the metadata a
+// capture sink needs to persist or serve it: when it was heard, on
+// which channel, and its position in the stream.
+type Capture struct {
+	// IQ is the waveform at the observer's ADC.
+	IQ dsp.IQ
+	// At is the wall-clock instant the reporting period fired.
+	At time.Time
+	// Channel is the 802.15.4 channel the observer's radio is tuned to.
+	Channel int
+	// Seq numbers the capture within this live run, starting at zero.
+	Seq uint64
+}
+
 // LiveNetwork runs the victim network in real time: a background
 // goroutine ticks the sensor at its reporting interval (two seconds in
 // the paper's setup, configurable for tests) and streams the
@@ -21,7 +35,7 @@ type LiveNetwork struct {
 	interval       time.Duration
 	captureChannel int
 
-	captures chan dsp.IQ
+	captures chan Capture
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -47,7 +61,7 @@ func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*Li
 		sim:            sim,
 		interval:       interval,
 		captureChannel: captureChannel,
-		captures:       make(chan dsp.IQ, 1),
+		captures:       make(chan Capture, 1),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
 	}
@@ -55,9 +69,10 @@ func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*Li
 	return l, nil
 }
 
-// Captures streams one capture per sensor reporting period. The channel
-// closes when the network shuts down (or hits an error — check Err).
-func (l *LiveNetwork) Captures() <-chan dsp.IQ {
+// Captures streams one annotated capture per sensor reporting period.
+// The channel closes when the network shuts down (or hits an error —
+// check Err).
+func (l *LiveNetwork) Captures() <-chan Capture {
 	return l.captures
 }
 
@@ -81,18 +96,21 @@ func (l *LiveNetwork) run() {
 
 	ticker := time.NewTicker(l.interval)
 	defer ticker.Stop()
+	var seq uint64
 	for {
 		select {
 		case <-l.stop:
 			return
 		case <-ticker.C:
-			capture, err := l.sim.Step(l.captureChannel)
+			sig, err := l.sim.Step(l.captureChannel)
 			if err != nil {
 				l.mu.Lock()
 				l.err = err
 				l.mu.Unlock()
 				return
 			}
+			capture := Capture{IQ: sig, At: time.Now(), Channel: l.captureChannel, Seq: seq}
+			seq++
 			select {
 			case l.captures <- capture:
 			case <-l.stop:

@@ -43,7 +43,16 @@ func TestLiveNetworkStreamsCaptures(t *testing.T) {
 			if !ok {
 				t.Fatalf("capture stream closed early (err=%v)", live.Err())
 			}
-			dem, err := sim.PHY.Demodulate(capture)
+			if capture.Channel != DefaultChannel {
+				t.Errorf("capture channel %d, want %d", capture.Channel, DefaultChannel)
+			}
+			if capture.Seq != uint64(received) {
+				t.Errorf("capture seq %d, want %d", capture.Seq, received)
+			}
+			if capture.At.IsZero() {
+				t.Error("capture has no timestamp")
+			}
+			dem, err := sim.PHY.Demodulate(capture.IQ)
 			if err != nil {
 				t.Fatalf("capture %d undecodable: %v", received, err)
 			}

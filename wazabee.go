@@ -19,8 +19,10 @@ import (
 
 	"wazabee/internal/attack"
 	"wazabee/internal/bitstream"
+	"wazabee/internal/capture"
 	"wazabee/internal/chip"
 	"wazabee/internal/core"
+	"wazabee/internal/dsp"
 	"wazabee/internal/experiment"
 	"wazabee/internal/ids"
 	"wazabee/internal/ieee802154"
@@ -48,6 +50,8 @@ type (
 	CorrespondenceEntry = core.CorrespondenceEntry
 	// Bits is an on-air bit (or chip) sequence.
 	Bits = bitstream.Bits
+	// IQ is a complex-baseband sample buffer.
+	IQ = dsp.IQ
 	// PPDU is an IEEE 802.15.4 PHY frame.
 	PPDU = ieee802154.PPDU
 	// MACFrame is an IEEE 802.15.4 MAC frame.
@@ -168,6 +172,10 @@ func NewVictimNetwork(seed int64, samplesPerChip int, snrDB float64) (*VictimNet
 // captures to a channel (see zigbee.StartLive).
 type LiveNetwork = zigbee.LiveNetwork
 
+// LiveCapture is one annotated waveform from a LiveNetwork's capture
+// stream (timestamp, channel, sequence number).
+type LiveCapture = zigbee.Capture
+
 // StartLiveNetwork spawns the network's reporting loop; stop it with
 // Shutdown.
 func StartLiveNetwork(net *VictimNetwork, interval time.Duration, captureChannel int) (*LiveNetwork, error) {
@@ -225,6 +233,56 @@ func NewMetricsRegistry() *MetricsRegistry {
 // medium via their Trace field and render it with Tree() or JSON().
 func NewTrace(name string) *Trace {
 	return obs.NewTrace(name)
+}
+
+// Capture subsystem: persistence, fan-out streaming and deterministic
+// replay of sniffed 802.15.4 traffic (see internal/capture and
+// DESIGN.md §8).
+type (
+	// CaptureRecord is one timestamped frame record (channel, RSSI/SNR,
+	// decoder kind, PSDU) — the unit every capture sink consumes.
+	CaptureRecord = capture.Record
+	// CaptureHub fans one producer's records out to N subscribers with
+	// bounded queues and a drop-oldest backpressure policy.
+	CaptureHub = capture.Hub
+	// CaptureSubscription is one consumer's bounded view of a hub
+	// stream.
+	CaptureSubscription = capture.Subscription
+	// ReplayConfig parameterises deterministic playback of recorded
+	// captures through the simulated radio medium.
+	ReplayConfig = capture.ReplayConfig
+)
+
+// OpenPCAP reads a Wireshark-compatible capture file (link type 195,
+// IEEE 802.15.4 with FCS) into records.
+func OpenPCAP(path string) ([]CaptureRecord, error) {
+	return capture.OpenPCAP(path)
+}
+
+// WritePCAP saves records to a pcap file that opens directly in
+// Wireshark.
+func WritePCAP(path string, records []CaptureRecord) error {
+	return capture.WritePCAP(path, records)
+}
+
+// NewHub builds a capture fan-out hub reporting into the process
+// default metrics registry.
+func NewHub() *CaptureHub {
+	return capture.NewHub(nil)
+}
+
+// Replay plays recorded captures back through a seeded radio medium,
+// handing each reconstructed waveform to sink — the injected-seed
+// determinism the rest of the repo guarantees applies, so a saved
+// capture is a reproducible regression input.
+func Replay(records []CaptureRecord, cfg ReplayConfig, sink func(CaptureRecord, dsp.IQ) error) error {
+	return capture.Replay(records, cfg, sink)
+}
+
+// ReplayThroughReceiver replays records into a WazaBee receiver and
+// returns the per-record demodulations (nil entries are misses).
+func ReplayThroughReceiver(records []CaptureRecord, cfg ReplayConfig, rx *Receiver) ([]*ieee802154.Demodulated, error) {
+	return capture.ReplayThroughReceiver(records, cfg, rx)
 }
 
 // Counter-measures and prospective analysis (sections VII and VIII).
