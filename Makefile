@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race bench fuzz ci
+.PHONY: build vet test race bench fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,9 @@ fuzz:
 	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzPCAPRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzZEPDecode -fuzztime $(FUZZTIME)
 
-ci: vet build race fuzz
+# One-shot link diagnostics over the simulated medium: exercises the
+# whole TX → medium → RX → LinkStats path from the CLI.
+smoke:
+	$(GO) run ./cmd/wazabee link -frames 5
+
+ci: vet build test race fuzz smoke

@@ -12,6 +12,9 @@
 //	                           WazaBee TX -> legitimate 802.15.4 RX over the simulated air
 //	wazabee rx [-chip name] [-channel n] [-payload hex]
 //	                           legitimate 802.15.4 TX -> WazaBee RX over the simulated air
+//	wazabee link [-chip name] [-channel n] [-frames n] [-snr dB]
+//	                           sound the link with test frames and print the
+//	                           per-frame LinkStats table (RSSI/SNR/CFO/LQI)
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
 	"wazabee/internal/radio"
 	"wazabee/internal/zigbee"
 )
@@ -39,9 +43,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (table, channels, chips, convert, tx, rx)")
+		return fmt.Errorf("missing subcommand (table, channels, chips, convert, tx, rx, link)")
 	}
 	switch args[0] {
+	case "link":
+		return linkReport(args[1:])
 	case "table":
 		return printTable()
 	case "channels":
@@ -118,6 +124,88 @@ func convert(s string) error {
 		return err
 	}
 	fmt.Printf("PN : %s\nMSK: %s\n", pn, msk)
+	return nil
+}
+
+// linkReport sounds the simulated link with test frames and prints each
+// frame's LinkStats plus the per-channel aggregate — the one-shot
+// diagnostics table the CI smoke target runs.
+func linkReport(args []string) error {
+	fs := flag.NewFlagSet("link", flag.ContinueOnError)
+	chipName := fs.String("chip", "nrf52832", "BLE chip model (nrf52832, cc1352r1, nrf51822)")
+	channel := fs.Int("channel", zigbee.DefaultChannel, "Zigbee channel (11-26)")
+	frames := fs.Int("frames", 10, "number of sounding frames")
+	snr := fs.Float64("snr", 12, "link SNR in dB")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *frames < 1 {
+		return fmt.Errorf("frame count %d < 1", *frames)
+	}
+
+	model, err := chipByName(*chipName)
+	if err != nil {
+		return err
+	}
+	if !model.CanTune(*channel) {
+		return fmt.Errorf("%s cannot tune Zigbee channel %d", model.Name, *channel)
+	}
+
+	const sps = 8
+	freq, err := ieee802154.ChannelFrequencyMHz(*channel)
+	if err != nil {
+		return err
+	}
+	medium, err := radio.NewMedium(float64(sps)*ieee802154.ChipRate, *seed)
+	if err != nil {
+		return err
+	}
+	stick := chip.RZUSBStick()
+	zigbeePHY, err := stick.NewZigbeePHY(sps)
+	if err != nil {
+		return err
+	}
+	rx, err := model.NewWazaBeeReceiver(sps)
+	if err != nil {
+		return err
+	}
+	// Keep the sounding run's telemetry out of the process totals.
+	reg := obs.NewRegistry()
+	medium.Obs, zigbeePHY.Obs, rx.Obs = reg, reg, reg
+	agg := link.NewAggregator(reg)
+
+	fmt.Printf("sounding channel %d (%g MHz), %s receiving, %d frames at %g dB SNR\n\n",
+		*channel, freq, model.Name, *frames, *snr)
+	fmt.Printf("%-6s %-10s %9s %9s %10s %6s %9s %5s\n",
+		"frame", "result", "rssi(dB)", "snr(dB)", "cfo(Hz)", "sync", "chip-err", "lqi")
+	for i := 0; i < *frames; i++ {
+		frame := ieee802154.NewDataFrame(uint8(i), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+			zigbee.DefaultSensor, zigbee.SensorPayload(uint16(i)), false)
+		psdu, err := frame.Encode()
+		if err != nil {
+			return err
+		}
+		ppdu, err := ieee802154.NewPPDU(psdu)
+		if err != nil {
+			return err
+		}
+		sig, err := zigbeePHY.Modulate(ppdu)
+		if err != nil {
+			return err
+		}
+		capture, err := medium.Deliver(sig, freq, freq,
+			radio.Link{SNRdB: *snr, LeadSamples: 40 * sps, LagSamples: 20 * sps})
+		if err != nil {
+			return err
+		}
+		_, st, _ := rx.ReceiveStats(capture)
+		agg.Observe(*channel, st)
+		fmt.Printf("%-6d %-10s %9.1f %9.1f %10.0f %6.2f %9.4f %5d\n",
+			i, st.Result(), st.RSSIdBFS, st.SNRdB, st.CFOHz, st.SyncCorr, st.ChipErrorRate(), st.LQI)
+	}
+	fmt.Println("\nper-channel aggregate:")
+	fmt.Print(agg.Table())
 	return nil
 }
 

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -32,6 +31,7 @@ import (
 	"wazabee"
 	"wazabee/internal/capture"
 	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
 	"wazabee/internal/zigbee"
 )
 
@@ -49,10 +49,51 @@ type config struct {
 	metricsAddr  string
 	deviceID     uint
 	queueDepth   int
+	logLevel     string
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		os.Exit(1)
+	}
+}
+
+// run parses flags, builds the daemon and drives it to completion. It
+// returns errors instead of calling log.Fatal so every deferred
+// shutdown (signal handler, listeners, pcap flush) runs on the way out.
+func run(args []string, out, errOut io.Writer) error {
 	cfg := config{}
+	fs := flag.NewFlagSet("wazabeed", flag.ExitOnError)
+	registerFlags(fs, &cfg)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := obs.DefaultLogger()
+	logger.SetSink(errOut)
+	lv, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		logger.Error("daemon", "bad -log-level", "err", err.Error())
+		return err
+	}
+	logger.SetLevel(lv)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := newDaemon(cfg)
+	if err != nil {
+		logger.Error("daemon", "startup failed", "err", err.Error())
+		return err
+	}
+	if err := d.run(ctx, out); err != nil {
+		logger.Error("daemon", "pipeline failed", "err", err.Error())
+		return err
+	}
+	return nil
+}
+
+func registerFlags(flag *flag.FlagSet, cfg *config) {
 	flag.Int64Var(&cfg.seed, "seed", 7, "victim network simulation seed")
 	flag.IntVar(&cfg.sps, "sps", 8, "baseband samples per chip")
 	flag.Float64Var(&cfg.snrDB, "snr", 22, "attacker link SNR in dB")
@@ -66,37 +107,35 @@ func main() {
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics and net/http/pprof on this address (empty disables)")
 	flag.UintVar(&cfg.deviceID, "zep-device", 0x5742, "ZEP device id stamped on outgoing datagrams")
 	flag.IntVar(&cfg.queueDepth, "queue", 256, "per-subscriber bounded queue depth")
-	flag.Parse()
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	d, err := newDaemon(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := d.run(ctx, os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log threshold: debug, info, warn or error")
 }
 
 // daemon owns the sniffer pipeline and its listeners. Listeners bind in
 // newDaemon so tests (and operators using port 0) can learn the chosen
 // addresses before the pipeline starts.
 type daemon struct {
-	cfg config
-	hub *capture.Hub
+	cfg  config
+	hub  *capture.Hub
+	log  *obs.Logger
+	link *link.Aggregator
 
-	tcpLn net.Listener
-	zepPC net.PacketConn
-	pcap  *capture.RotatingPCAP
+	tcpLn     net.Listener
+	zepPC     net.PacketConn
+	metricsLn net.Listener
+	pcap      *capture.RotatingPCAP
 }
 
 func newDaemon(cfg config) (*daemon, error) {
 	if cfg.queueDepth < 1 {
 		return nil, fmt.Errorf("wazabeed: queue depth %d < 1", cfg.queueDepth)
 	}
-	d := &daemon{cfg: cfg, hub: capture.NewHub(nil)}
+	d := &daemon{
+		cfg:  cfg,
+		hub:  capture.NewHub(nil),
+		log:  obs.DefaultLogger(),
+		link: link.NewAggregator(nil),
+	}
+	d.hub.Log = d.log
 	if cfg.listenTCP != "" {
 		ln, err := net.Listen("tcp", cfg.listenTCP)
 		if err != nil {
@@ -110,6 +149,13 @@ func newDaemon(cfg config) (*daemon, error) {
 			return nil, fmt.Errorf("wazabeed: zep listener: %w", err)
 		}
 		d.zepPC = pc
+	}
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("wazabeed: metrics listener: %w", err)
+		}
+		d.metricsLn = ln
 	}
 	if cfg.pcapPath != "" {
 		pcap, err := capture.OpenRotatingPCAP(cfg.pcapPath, cfg.pcapMaxBytes, nil)
@@ -135,6 +181,15 @@ func (d *daemon) zepAddr() string {
 		return ""
 	}
 	return d.zepPC.LocalAddr().String()
+}
+
+// metricsAddr returns the bound metrics/debug address, or "" when
+// disabled.
+func (d *daemon) metricsAddr() string {
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
 }
 
 func (d *daemon) run(ctx context.Context, out io.Writer) error {
@@ -201,22 +256,26 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 		fmt.Fprintf(out, "wazabeed: serving ZEP v2 on udp %s\n", d.zepAddr())
 	}
 
-	if cfg.metricsAddr != "" {
+	if d.metricsLn != nil {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default())
+		mux.Handle("/debug/link", d.link)
+		mux.Handle("/logz", d.log)
 		mux.Handle("/debug/pprof/", http.DefaultServeMux)
-		srv := &http.Server{Addr: cfg.metricsAddr, Handler: mux}
+		srv := &http.Server{Handler: mux}
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(out, "wazabeed: metrics server:", err)
+			if err := srv.Serve(d.metricsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				d.log.Error("daemon", "metrics server failed", "err", err.Error())
 			}
 		}()
 		defer srv.Close()
-		fmt.Fprintf(out, "wazabeed: serving /metrics and /debug/pprof on %s\n", cfg.metricsAddr)
+		fmt.Fprintf(out, "wazabeed: serving /metrics, /debug/link, /logz and /debug/pprof on %s\n", d.metricsAddr())
 	}
 
 	// Producer: decode live periods and publish them to the hub until
 	// the period budget, a stream end, or a signal stops the daemon.
+	d.log.Info("daemon", "pipeline started",
+		"channel", cfg.channel, "snr_db", cfg.snrDB, "interval", cfg.interval.String())
 	published, decoded := 0, 0
 	reg := obs.Default()
 producer:
@@ -227,17 +286,22 @@ producer:
 		case c, ok := <-live.Captures():
 			if !ok {
 				if err := live.Err(); err != nil {
+					d.log.Error("daemon", "capture stream ended", "err", err.Error())
 					fmt.Fprintln(out, "wazabeed: capture stream ended:", err)
 				}
 				break producer
 			}
-			dem, err := rx.Receive(c.IQ)
+			dem, st, err := rx.ReceiveStats(c.IQ)
 			if err != nil {
 				dem = nil
 			} else {
 				decoded++
 			}
-			rec := capture.NewLiveRecord(c.At, c.Channel, c.IQ, dem, cfg.snrDB)
+			d.link.Observe(c.Channel, st)
+			d.log.Debug("daemon", "period received",
+				"seq", c.Seq, "result", st.Result(), "lqi", st.LQI,
+				"snr_db", st.SNRdB, "cfo_hz", st.CFOHz)
+			rec := capture.NewStatsRecord(c.At, c.Channel, c.Seq, c.IQ, dem, st, c.LinkSNRdB)
 			d.hub.Publish(rec)
 			published++
 			reg.Gauge("wazabee_capture_daemon_periods").Set(float64(published))
@@ -255,7 +319,11 @@ producer:
 	}
 	consumers.Wait()
 
+	d.log.Info("daemon", "pipeline stopped", "published", published, "decoded", decoded)
 	fmt.Fprintf(out, "wazabeed: %d periods published, %d frames decoded\n", published, decoded)
+	if table := d.link.Table(); table != "" {
+		fmt.Fprintf(out, "wazabeed: link quality by channel:\n%s", table)
+	}
 	if d.pcap != nil {
 		fmt.Fprintf(out, "wazabeed: pcap capture at %s (%d packets) — open with: wireshark %s\n",
 			cfg.pcapPath, d.pcap.Packets(), cfg.pcapPath)
@@ -324,7 +392,6 @@ func (d *daemon) serveZEP() {
 	if err != nil {
 		return
 	}
-	var seq uint32
 	for {
 		rec, ok := sub.Recv()
 		if !ok {
@@ -333,11 +400,12 @@ func (d *daemon) serveZEP() {
 		if len(rec.PSDU) == 0 {
 			continue
 		}
-		datagram, err := capture.EncodeZEP(rec, uint16(d.cfg.deviceID), seq)
+		// The datagram reuses the record's own stream sequence number, so
+		// collectors see the same numbering (and gaps) as the capture loop.
+		datagram, err := capture.EncodeZEPRecord(rec, uint16(d.cfg.deviceID))
 		if err != nil {
 			continue
 		}
-		seq++
 		mu.Lock()
 		for key, addr := range peers {
 			if _, err := d.zepPC.WriteTo(datagram, addr); err != nil {

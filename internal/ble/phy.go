@@ -163,8 +163,15 @@ type Capture struct {
 	// PatternErrors is the number of mismatched bits inside the matched
 	// pattern window.
 	PatternErrors int
+	// PatternStart is the transition index of the matched pattern within
+	// the capture at the recovered sampling phase; the first sample of
+	// the frame sits at SampleOffset + PatternStart·SamplesPerSymbol.
+	PatternStart int
 	// SampleOffset is the recovered symbol-timing phase.
 	SampleOffset int
+	// SyncScore is the normalized soft correlation of the matched
+	// pattern: 1.0 for a noiseless, perfectly timed match.
+	SyncScore float64
 	// CFOBias is the estimated per-symbol phase bias from carrier
 	// frequency offset, already removed from Bits decisions.
 	CFOBias float64
@@ -235,7 +242,9 @@ func (p *PHY) DemodulateFrame(sig dsp.IQ, pattern bitstream.Bits, maxErrors int)
 	return &Capture{
 		Bits:          bits,
 		PatternErrors: bestErrs,
+		PatternStart:  bestPos,
 		SampleOffset:  bestPhase,
+		SyncScore:     bestScore / (float64(len(pattern)) * nominal),
 		CFOBias:       bias,
 	}, nil
 }

@@ -28,6 +28,11 @@ type Hub struct {
 	cPublished *obs.Counter
 	gSubs      *obs.Gauge
 
+	// Log receives subscriber lifecycle events (subscribe, unsubscribe,
+	// stream end); nil falls back to the process default logger. Set it
+	// before the first Subscribe.
+	Log *obs.Logger
+
 	mu        sync.Mutex
 	subs      map[*Subscription]struct{}
 	closed    bool
@@ -70,6 +75,8 @@ func (h *Hub) Subscribe(name string, depth int) (*Subscription, error) {
 	}
 	h.subs[s] = struct{}{}
 	h.gSubs.Set(float64(len(h.subs)))
+	n := len(h.subs)
+	obs.OrLogger(h.Log).Info("hub", "subscriber joined", "subscriber", name, "depth", depth, "subscribers", n)
 	return s, nil
 }
 
@@ -113,20 +120,29 @@ func (h *Hub) Close() {
 	}
 	h.subs = make(map[*Subscription]struct{})
 	h.gSubs.Set(0)
+	published := h.published
 	h.mu.Unlock()
 
 	for _, s := range subs {
 		s.finish()
 	}
+	obs.OrLogger(h.Log).Info("hub", "stream closed", "published", published, "subscribers", len(subs))
 }
 
 func (h *Hub) remove(s *Subscription) {
 	h.mu.Lock()
+	removed := false
 	if _, ok := h.subs[s]; ok {
 		delete(h.subs, s)
 		h.gSubs.Set(float64(len(h.subs)))
+		removed = true
 	}
 	h.mu.Unlock()
+	if removed {
+		st := s.Stats()
+		obs.OrLogger(h.Log).Info("hub", "subscriber left",
+			"subscriber", s.name, "delivered", st.Delivered, "dropped", st.Dropped)
+	}
 }
 
 // SubStats is a subscription's accounting snapshot.

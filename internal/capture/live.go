@@ -6,6 +6,7 @@ import (
 
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs/link"
 )
 
 // RSSIFromIQ estimates a received signal strength indication from a
@@ -46,5 +47,30 @@ func NewLiveRecord(at time.Time, channel int, sig dsp.IQ, dem *ieee802154.Demodu
 		rec.PSDU = append([]byte(nil), dem.PPDU.PSDU...)
 		rec.LQI = LQIFromDistance(dem.WorstChipDistance)
 	}
+	return rec
+}
+
+// NewStatsRecord builds the record for one live capture period from the
+// receiver's per-frame link diagnostics: the measured RSSI/SNR/CFO, the
+// computed 802.15.4 LQI and the despreader's chip-error evidence, plus
+// the capture loop's sequence number so downstream encoders (ZEP, TCP
+// subscribers) stay sequence-linked to the source. fallbackSNRdB fills
+// the SNR field when the frame carried no valid in-band estimate (e.g.
+// a sync failure); pass the configured link SNR, or zero when unknown.
+func NewStatsRecord(at time.Time, channel int, seq uint64, sig dsp.IQ, dem *ieee802154.Demodulated, st *link.Stats, fallbackSNRdB float64) Record {
+	rec := NewLiveRecord(at, channel, sig, dem, fallbackSNRdB)
+	rec.Seq = uint32(seq)
+	if st == nil {
+		return rec
+	}
+	rec.RSSIdBm = st.RSSIdBFS
+	if st.SNRValid {
+		rec.SNRdB = st.SNRdB
+	}
+	rec.LQI = st.LQI
+	rec.CFOHz = st.CFOHz
+	rec.SyncCorr = st.SyncCorr
+	rec.ChipErrors = uint32(st.ChipErrors)
+	rec.ChipsCompared = uint32(st.ChipsCompared)
 	return rec
 }

@@ -46,6 +46,20 @@ type Record struct {
 	SNRdB float64
 	// LQI is the 802.15.4 link quality indication (0–255).
 	LQI uint8
+	// Seq numbers the record within its producer's stream, so downstream
+	// consumers (ZEP datagrams, subscribers) stay sequence-linked to the
+	// capture loop instead of renumbering.
+	Seq uint32
+	// CFOHz is the carrier frequency offset the demodulator estimated
+	// and corrected, in hertz.
+	CFOHz float64
+	// SyncCorr is the normalized sync-correlation peak (nominal 1.0 for
+	// a noiseless, perfectly timed match).
+	SyncCorr float64
+	// ChipErrors and ChipsCompared carry the despreader's Hamming
+	// evidence: chip mismatches observed out of chips compared.
+	ChipErrors    uint32
+	ChipsCompared uint32
 	// Decoder identifies the receive pipeline that produced the record:
 	// "wazabee" for the diverted-BLE primitive, "oqpsk" for the
 	// legitimate demodulator, "raw" for an undecoded capture.
@@ -69,24 +83,38 @@ func (r Record) Clone() Record {
 	return cp
 }
 
-// Binary record layout (version 1, all integers big-endian):
+// Binary record layout (all integers big-endian). Version 2 extends the
+// version-1 header with the link diagnostics; the reader still accepts
+// version-1 streams (the added fields decode as zero):
 //
-//	version   uint8  = 1
-//	flags     uint8  = 0 (reserved)
-//	at        int64  Unix nanoseconds
-//	channel   uint8
-//	lqi       uint8
-//	rssi_dbm  uint64 IEEE-754 bits
-//	snr_db    uint64 IEEE-754 bits
-//	decoder   uint8 length + bytes
-//	psdu      uint8 length + bytes
-const recordVersion = 1
+//	version     uint8  = 2
+//	flags       uint8  = 0 (reserved)
+//	at          int64  Unix nanoseconds
+//	channel     uint8
+//	lqi         uint8
+//	rssi_dbm    uint64 IEEE-754 bits
+//	snr_db      uint64 IEEE-754 bits
+//	--- end of the version-1 fixed header (28 bytes) ---
+//	seq         uint32 producer stream sequence
+//	cfo_hz      uint64 IEEE-754 bits
+//	sync_corr   uint64 IEEE-754 bits
+//	chip_errors uint32
+//	chips       uint32
+//	--- end of the version-2 fixed header (56 bytes) ---
+//	decoder     uint8 length + bytes
+//	psdu        uint8 length + bytes
+const (
+	recordVersion  = 2
+	recordV1Header = 28
+	recordV2Header = 56
+	recordMaxKnown = recordVersion
+)
 
 // maxRecordWire bounds the size of one encoded record: the fixed header
 // plus two maximal length-prefixed fields.
-const maxRecordWire = 28 + 255 + 127
+const maxRecordWire = recordV2Header + 1 + 255 + 1 + 255
 
-// MarshalBinary encodes the record in the version-1 wire layout.
+// MarshalBinary encodes the record in the version-2 wire layout.
 func (r Record) MarshalBinary() ([]byte, error) {
 	if r.Channel < 0 || r.Channel > 255 {
 		return nil, fmt.Errorf("capture: channel %d outside uint8 range", r.Channel)
@@ -97,12 +125,17 @@ func (r Record) MarshalBinary() ([]byte, error) {
 	if len(r.PSDU) > 255 {
 		return nil, fmt.Errorf("capture: PSDU %d bytes exceeds one octet length", len(r.PSDU))
 	}
-	b := make([]byte, 0, 28+len(r.Decoder)+len(r.PSDU))
+	b := make([]byte, 0, recordV2Header+2+len(r.Decoder)+len(r.PSDU))
 	b = append(b, recordVersion, 0)
 	b = binary.BigEndian.AppendUint64(b, uint64(r.At.UnixNano()))
 	b = append(b, uint8(r.Channel), r.LQI)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.RSSIdBm))
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.SNRdB))
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.CFOHz))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.SyncCorr))
+	b = binary.BigEndian.AppendUint32(b, r.ChipErrors)
+	b = binary.BigEndian.AppendUint32(b, r.ChipsCompared)
 	b = append(b, uint8(len(r.Decoder)))
 	b = append(b, r.Decoder...)
 	b = append(b, uint8(len(r.PSDU)))
@@ -110,21 +143,41 @@ func (r Record) MarshalBinary() ([]byte, error) {
 	return b, nil
 }
 
-// UnmarshalBinary decodes a version-1 record. It validates every length
-// before reading, so corrupt input yields an error, never a panic.
+// UnmarshalBinary decodes a version-1 or version-2 record. Unknown
+// future versions are rejected with a descriptive error rather than
+// misparsed; corrupt input yields an error, never a panic.
 func (r *Record) UnmarshalBinary(b []byte) error {
-	if len(b) < 28 {
-		return fmt.Errorf("capture: record truncated at %d bytes", len(b))
+	if len(b) < 1 {
+		return fmt.Errorf("capture: empty record")
 	}
-	if b[0] != recordVersion {
-		return fmt.Errorf("capture: unsupported record version %d", b[0])
+	version := b[0]
+	if version == 0 || version > recordMaxKnown {
+		return fmt.Errorf("capture: record version %d is newer than this reader supports (max %d); upgrade the reader or re-record",
+			version, recordMaxKnown)
+	}
+	header := recordV1Header
+	if version == 2 {
+		header = recordV2Header
+	}
+	if len(b) < header {
+		return fmt.Errorf("capture: version-%d record truncated at %d bytes (want %d-byte header)",
+			version, len(b), header)
 	}
 	at := int64(binary.BigEndian.Uint64(b[2:10]))
 	channel := int(b[10])
 	lqi := b[11]
 	rssi := math.Float64frombits(binary.BigEndian.Uint64(b[12:20]))
 	snr := math.Float64frombits(binary.BigEndian.Uint64(b[20:28]))
-	rest := b[28:]
+	var seq, chipErrs, chips uint32
+	var cfo, corr float64
+	if version == 2 {
+		seq = binary.BigEndian.Uint32(b[28:32])
+		cfo = math.Float64frombits(binary.BigEndian.Uint64(b[32:40]))
+		corr = math.Float64frombits(binary.BigEndian.Uint64(b[40:48]))
+		chipErrs = binary.BigEndian.Uint32(b[48:52])
+		chips = binary.BigEndian.Uint32(b[52:56])
+	}
+	rest := b[header:]
 	if len(rest) < 1 {
 		return fmt.Errorf("capture: record missing decoder tag")
 	}
@@ -144,13 +197,18 @@ func (r *Record) UnmarshalBinary(b []byte) error {
 		return fmt.Errorf("capture: PSDU truncated (%d < %d)", len(rest), plen)
 	}
 	*r = Record{
-		At:      time.Unix(0, at),
-		Channel: channel,
-		RSSIdBm: rssi,
-		SNRdB:   snr,
-		LQI:     lqi,
-		Decoder: decoder,
-		PSDU:    append([]byte(nil), rest[:plen]...),
+		At:            time.Unix(0, at),
+		Channel:       channel,
+		RSSIdBm:       rssi,
+		SNRdB:         snr,
+		LQI:           lqi,
+		Seq:           seq,
+		CFOHz:         cfo,
+		SyncCorr:      corr,
+		ChipErrors:    chipErrs,
+		ChipsCompared: chips,
+		Decoder:       decoder,
+		PSDU:          append([]byte(nil), rest[:plen]...),
 	}
 	return nil
 }

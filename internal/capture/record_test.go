@@ -2,7 +2,10 @@ package capture
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
+	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -93,5 +96,89 @@ func TestMarshalRejectsInvalidRecords(t *testing.T) {
 	}
 	if _, err := (Record{PSDU: make([]byte, 300)}).MarshalBinary(); err == nil {
 		t.Error("marshalled an oversized PSDU")
+	}
+}
+
+func TestRecordV2RoundTripLinkFields(t *testing.T) {
+	rec := Record{
+		At:            time.Unix(1700000000, 0),
+		Channel:       17,
+		RSSIdBm:       -44.5,
+		SNRdB:         18.25,
+		LQI:           201,
+		Seq:           0xdeadbeef,
+		CFOHz:         -37_500,
+		SyncCorr:      0.9375,
+		ChipErrors:    42,
+		ChipsCompared: 1364,
+		Decoder:       "wazabee",
+		PSDU:          []byte{0x61, 0x88, 0x01},
+	}
+	b, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != rec.Seq {
+		t.Errorf("Seq %#x, want %#x", got.Seq, rec.Seq)
+	}
+	if got.CFOHz != rec.CFOHz || got.SyncCorr != rec.SyncCorr {
+		t.Errorf("CFO/corr %g/%g, want %g/%g", got.CFOHz, got.SyncCorr, rec.CFOHz, rec.SyncCorr)
+	}
+	if got.ChipErrors != rec.ChipErrors || got.ChipsCompared != rec.ChipsCompared {
+		t.Errorf("chip evidence %d/%d, want %d/%d",
+			got.ChipErrors, got.ChipsCompared, rec.ChipErrors, rec.ChipsCompared)
+	}
+}
+
+// TestRecordV1Decode hand-encodes the 28-byte version-1 layout and checks
+// the reader still accepts it, with the version-2 link fields zero — old
+// capture streams stay replayable.
+func TestRecordV1Decode(t *testing.T) {
+	b := []byte{1, 0} // version 1, flags
+	b = binary.BigEndian.AppendUint64(b, uint64(time.Unix(5, 0).UnixNano()))
+	b = append(b, 14, 200) // channel, lqi
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(-61.0))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(12.5))
+	b = append(b, 3)
+	b = append(b, "raw"...)
+	b = append(b, 2, 0xaa, 0xbb)
+
+	var rec Record
+	if err := rec.UnmarshalBinary(b); err != nil {
+		t.Fatalf("version-1 record rejected: %v", err)
+	}
+	if rec.Channel != 14 || rec.LQI != 200 || rec.Decoder != "raw" {
+		t.Errorf("metadata %d/%d/%q", rec.Channel, rec.LQI, rec.Decoder)
+	}
+	if rec.RSSIdBm != -61.0 || rec.SNRdB != 12.5 {
+		t.Errorf("RSSI/SNR %g/%g", rec.RSSIdBm, rec.SNRdB)
+	}
+	if !bytes.Equal(rec.PSDU, []byte{0xaa, 0xbb}) {
+		t.Errorf("PSDU %x", rec.PSDU)
+	}
+	if rec.Seq != 0 || rec.CFOHz != 0 || rec.SyncCorr != 0 ||
+		rec.ChipErrors != 0 || rec.ChipsCompared != 0 {
+		t.Errorf("version-1 record carries non-zero link fields: %+v", rec)
+	}
+}
+
+func TestRecordRejectsFutureVersion(t *testing.T) {
+	rec := Record{At: time.Unix(0, 0), Channel: 14, Decoder: "wazabee", PSDU: []byte{1}}
+	b, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] = 3 // a version this reader does not know
+	var got Record
+	err = got.UnmarshalBinary(b)
+	if err == nil {
+		t.Fatal("accepted a version-3 record")
+	}
+	if !strings.Contains(err.Error(), "version 3") || !strings.Contains(err.Error(), "max 2") {
+		t.Errorf("rejection error %q does not name the versions", err)
 	}
 }

@@ -67,6 +67,14 @@ func EncodeZEP(rec Record, deviceID uint16, seq uint32) ([]byte, error) {
 	return append(b, rec.PSDU...), nil
 }
 
+// EncodeZEPRecord packs a record into a ZEP v2 data datagram using the
+// record's own stream sequence number, so the datagram's sequence field
+// stays linked to the capture loop that produced the frame (and to the
+// record's timestamp) instead of being renumbered per ZEP sink.
+func EncodeZEPRecord(rec Record, deviceID uint16) ([]byte, error) {
+	return EncodeZEP(rec, deviceID, rec.Seq)
+}
+
 // DecodeZEP parses a ZEP v2 data datagram back into a record (decoder
 // tag "zep") plus the device id and sequence number. Corrupt input
 // yields an error, never a panic; v2 ack packets are rejected with a

@@ -110,3 +110,31 @@ func TestZEPEncodeRejectsInvalidRecords(t *testing.T) {
 		t.Error("encoded an oversized payload")
 	}
 }
+
+// TestEncodeZEPRecordUsesStreamSequence checks the record-driven encoder
+// carries the producer's own sequence number into the datagram, so ZEP
+// consumers stay aligned with the capture loop instead of being
+// renumbered per subscriber.
+func TestEncodeZEPRecordUsesStreamSequence(t *testing.T) {
+	rec := Record{
+		At:      time.Unix(10, 0),
+		Channel: 21,
+		LQI:     117,
+		Seq:     42,
+		PSDU:    []byte{0x01, 0x02, 0x03},
+	}
+	b, err := EncodeZEPRecord(rec, 0x5742)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, seq, err := DecodeZEP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Errorf("ZEP sequence = %d, want the record's Seq 42", seq)
+	}
+	if got.LQI != 117 || got.Channel != 21 {
+		t.Errorf("decoded LQI/channel = %d/%d, want 117/21", got.LQI, got.Channel)
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wazabee/internal/ble"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
+	"wazabee/internal/radio"
+)
+
+// oqpskFrame modulates a FCS-sealed PSDU with the legitimate 802.15.4
+// PHY — the waveform the reception primitive is assessed against.
+func oqpskFrame(t *testing.T, psdu []byte) dsp.IQ {
+	t.Helper()
+	ppdu, err := ieee802154.NewPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := zigbeePHY(t).Modulate(ppdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+// TestReceiveStatsNoSync: a noise-only capture must still yield a
+// finalized stats record (no_sync, LQI 0) and the matching counters.
+func TestReceiveStatsNoSync(t *testing.T) {
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rx.Obs = reg
+
+	noise, err := dsp.NoiseFloor(8000, 0.01, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem, st, rerr := rx.ReceiveStats(noise)
+	if rerr == nil || dem != nil {
+		t.Fatal("noise-only capture decoded")
+	}
+	if !errors.Is(rerr, ieee802154.ErrNoSync) {
+		t.Errorf("error %v does not wrap ErrNoSync", rerr)
+	}
+	if st == nil {
+		t.Fatal("stats nil on the no-sync path")
+	}
+	if st.Synced || st.Result() != "no_sync" {
+		t.Errorf("stats = %+v, want unsynced no_sync", st)
+	}
+	if st.LQI != 0 {
+		t.Errorf("no-sync LQI = %d, want 0", st.LQI)
+	}
+	// The whole-capture RSSI must be populated even without sync:
+	// 0.01 total noise power is -20 dBFS.
+	if math.Abs(st.RSSIdBFS-(-20)) > 1.5 {
+		t.Errorf("no-sync RSSI = %.1f dBFS, want ≈ -20", st.RSSIdBFS)
+	}
+	if got := reg.Counter("wazabee_sync_failures_total", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("sync failures counter = %d, want 1", got)
+	}
+	if got := reg.Counter(link.MetricFrames, "result", "no_sync", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("link frames{no_sync} counter = %d, want 1", got)
+	}
+}
+
+// TestReceiveStatsFCSCorrupt: a decodable frame whose FCS does not
+// verify must come back Decoded with FCSOK=false and the crc fail
+// counter bumped — corruption is the middle class of Table III.
+func TestReceiveStatsFCSCorrupt(t *testing.T) {
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rx.Obs = reg
+
+	psdu := testPSDU(t, []byte{0x41, 0x88, 0x2a, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x07})
+	psdu[4] ^= 0xff // corrupt a payload byte after sealing: FCS now wrong
+	sig := oqpskFrame(t, psdu)
+	padded, err := sig.Pad(200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem, st, rerr := rx.ReceiveStats(padded)
+	if rerr != nil {
+		t.Fatalf("clean-channel receive failed: %v", rerr)
+	}
+	if !st.Decoded || st.Result() != "decoded" {
+		t.Errorf("stats = %+v, want decoded", st)
+	}
+	if st.FCSOK {
+		t.Error("FCSOK = true for a corrupted PSDU")
+	}
+	if dem.Link != st {
+		t.Error("Demodulated.Link does not carry the stats record")
+	}
+	if got := reg.Counter("wazabee_crc_checks_total", "decoder", "wazabee", "result", "fail").Value(); got != 1 {
+		t.Errorf("crc fail counter = %d, want 1", got)
+	}
+	if got := reg.Counter(link.MetricFrames, "result", "decoded", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("link frames{decoded} counter = %d, want 1", got)
+	}
+}
+
+// TestReceiveStatsQualityGate: with the gate cranked down and a noisy
+// link, a frame whose chips despread above the threshold must be
+// dropped as gated, still carrying its chip-error evidence.
+func TestReceiveStatsQualityGate(t *testing.T) {
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.MaxChipDistance = 1
+
+	psdu := testPSDU(t, []byte{0x41, 0x88, 0x2a, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x07})
+	clean := oqpskFrame(t, psdu)
+
+	for seed := int64(1); seed <= 30; seed++ {
+		reg := obs.NewRegistry()
+		rx.Obs = reg
+		sig := clean.Clone()
+		if err := dsp.AddAWGN(sig, 6, rand.New(rand.NewSource(seed))); err != nil {
+			t.Fatal(err)
+		}
+		padded, err := sig.Pad(200, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, rerr := rx.ReceiveStats(padded)
+		if rerr == nil || !st.Gated {
+			continue // this seed despread cleanly or lost sync; try the next
+		}
+		if !errors.Is(rerr, ieee802154.ErrNoSync) {
+			t.Errorf("gate drop error %v does not wrap ErrNoSync", rerr)
+		}
+		if st.Result() != "gated" {
+			t.Errorf("Result() = %q, want gated", st.Result())
+		}
+		if st.WorstChipDistance <= rx.MaxChipDistance {
+			t.Errorf("gated with worst distance %d <= gate %d", st.WorstChipDistance, rx.MaxChipDistance)
+		}
+		if st.ChipsCompared == 0 {
+			t.Error("gated frame carries no chip evidence")
+		}
+		if got := reg.Counter("wazabee_quality_gate_drops_total", "decoder", "wazabee").Value(); got != 1 {
+			t.Errorf("gate drops counter = %d, want 1", got)
+		}
+		if got := reg.Counter(link.MetricFrames, "result", "gated", "decoder", "wazabee").Value(); got != 1 {
+			t.Errorf("link frames{gated} counter = %d, want 1", got)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..30 tripped the quality gate at 6 dB SNR with gate 1")
+}
+
+// TestReceiveStatsSNRWithinTolerance drives the full pipeline — O-QPSK
+// TX, seeded medium at a configured link SNR, WazaBee RX — across an
+// SNR sweep and asserts the in-band estimate lands within ±2 dB of the
+// configured value on average.
+func TestReceiveStatsSNRWithinTolerance(t *testing.T) {
+	const sps = 8
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Obs = obs.NewRegistry()
+
+	psdu := testPSDU(t, []byte{0x41, 0x88, 0x2a, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x07})
+	clean := oqpskFrame(t, psdu)
+	freq, err := ieee802154.ChannelFrequencyMHz(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, snrDB := range []float64{8, 12, 16, 20} {
+		medium, err := radio.NewMedium(float64(sps)*ieee802154.ChipRate, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		medium.Obs = rx.Obs
+		var sum float64
+		var n int
+		for i := 0; i < 10; i++ {
+			capture, err := medium.Deliver(clean, freq, freq,
+				radio.Link{SNRdB: snrDB, LeadSamples: 40 * sps, LagSamples: 20 * sps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, st, rerr := rx.ReceiveStats(capture)
+			if rerr != nil || !st.SNRValid {
+				continue
+			}
+			sum += st.SNRdB
+			n++
+		}
+		if n < 5 {
+			t.Fatalf("snr %g dB: only %d of 10 frames yielded an estimate", snrDB, n)
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-snrDB) > 2 {
+			t.Errorf("configured %g dB: mean estimate %.2f dB, off by more than 2 dB", snrDB, mean)
+		}
+	}
+}
+
+// TestReceiveStatsCFOEstimate checks the CFO the medium applies comes
+// back in the stats record with the right sign and rough magnitude.
+func TestReceiveStatsCFOEstimate(t *testing.T) {
+	const sps = 8
+	rx, err := NewReceiver(blePHY(t, ble.LE2M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Obs = obs.NewRegistry()
+
+	psdu := testPSDU(t, []byte{0x41, 0x88, 0x2a, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x07})
+	clean := oqpskFrame(t, psdu)
+	freq, err := ieee802154.ChannelFrequencyMHz(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium, err := radio.NewMedium(float64(sps)*ieee802154.ChipRate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cfoHz = 40_000 // ≈ 16 ppm at 2.4 GHz, within BLE tolerance
+	capture, err := medium.Deliver(clean, freq, freq,
+		radio.Link{SNRdB: 25, CFOHz: cfoHz, LeadSamples: 40 * sps, LagSamples: 20 * sps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, rerr := rx.ReceiveStats(capture)
+	if rerr != nil {
+		t.Fatalf("receive failed under 40 kHz CFO: %v", rerr)
+	}
+	if st.CFOHz < cfoHz/2 || st.CFOHz > cfoHz*2 {
+		t.Errorf("estimated CFO %.0f Hz, want within a factor of two of %d Hz", st.CFOHz, cfoHz)
+	}
+}

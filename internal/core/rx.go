@@ -3,11 +3,12 @@ package core
 import (
 	"fmt"
 
-	"wazabee/internal/ble"
 	"wazabee/internal/bitstream"
+	"wazabee/internal/ble"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
 )
 
 // Receiver is the WazaBee reception primitive: a BLE radio configured with
@@ -61,7 +62,22 @@ func NewReceiver(phy *ble.PHY) (*Receiver, error) {
 // the underlying cause (no preamble, mid-frame abort, quality gate) kept
 // in the chain so telemetry and callers can tell them apart.
 func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
+	dem, _, err := r.ReceiveStats(sig)
+	return dem, err
+}
+
+// ReceiveStats runs the same receiver but additionally returns the
+// per-frame link diagnostics. The stats are never nil: every attempt —
+// sync failure, mid-frame abort, quality-gate drop or clean decode —
+// yields a finalized record with at least the capture RSSI, and the
+// record is also fed to the receiver's metrics registry.
+func (r *Receiver) ReceiveStats(sig dsp.IQ) (*ieee802154.Demodulated, *link.Stats, error) {
 	reg := obs.Or(r.Obs)
+	st := &link.Stats{RSSIdBFS: link.RSSIdBFS(sig)}
+	defer func() {
+		st.Finalize()
+		link.Observe(reg, st, "decoder", "wazabee")
+	}()
 
 	endCorrelate := obs.Stage(reg, r.Trace, "aa-correlate")
 	cap, err := r.phy.DemodulateFrame(sig, AccessPattern(), r.MaxPatternErrors)
@@ -71,8 +87,12 @@ func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
 		// Normalise to the PHY-level sentinel so callers classify
 		// "not received" uniformly, but keep the BLE demodulator's
 		// error as the distinguishable cause.
-		return nil, fmt.Errorf("core: access address correlation: %w: %w", ieee802154.ErrNoSync, err)
+		return nil, st, fmt.Errorf("core: access address correlation: %w: %w", ieee802154.ErrNoSync, err)
 	}
+	st.Synced = true
+	st.SyncErrors = cap.PatternErrors
+	st.SyncCorr = cap.SyncScore
+	st.CFOHz = link.CFOFromBias(cap.CFOBias, ieee802154.ChipRate)
 	reg.Histogram("wazabee_aa_pattern_errors", obs.LinearBuckets(0, 1, 9), "decoder", "wazabee").
 		Observe(float64(cap.PatternErrors))
 
@@ -83,26 +103,54 @@ func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
 		reg.Counter("wazabee_despread_failures_total", "decoder", "wazabee").Inc()
 		// A mid-frame abort after a good Access Address match: still
 		// "not received", but distinguishable from a sync failure.
-		return nil, fmt.Errorf("core: despread after sync: %w", err)
+		return nil, st, fmt.Errorf("core: despread after sync: %w", err)
 	}
+	st.WorstChipDistance = dem.WorstChipDistance
+	st.ChipErrors = dem.TotalChipDistance
+	st.ChipsCompared = dem.SymbolCount * (ieee802154.ChipsPerSymbol - 1)
+	st.DistHist = dem.ChipDistHist
+
+	// The frame span at the recovered timing phase bounds the signal
+	// power measurement; everything outside it is the noise floor. Two
+	// chip periods of guard on each side keep the half-chip O-QPSK
+	// offset, the trailing chip past the last transition and the
+	// Gaussian pulse tails out of the noise estimate.
+	sps := r.phy.SamplesPerSymbol
+	frameStart := cap.SampleOffset + cap.PatternStart*sps
+	frameEnd := frameStart + dem.TransitionSpan*sps
+	if rssi, noise, snr, ok := link.Measure(sig, frameStart, frameEnd, 2*sps); ok {
+		st.RSSIdBFS = rssi
+		st.NoisedBFS = noise
+		st.SNRdB = snr
+		st.SNRValid = true
+	} else {
+		st.RSSIdBFS = rssi
+	}
+
 	reg.Histogram("wazabee_worst_chip_distance", obs.DistanceBuckets, "decoder", "wazabee").
 		Observe(float64(dem.WorstChipDistance))
 	if r.MaxChipDistance > 0 && dem.WorstChipDistance > r.MaxChipDistance {
+		st.Gated = true
 		reg.Counter("wazabee_quality_gate_drops_total", "decoder", "wazabee").Inc()
-		return nil, fmt.Errorf("core: worst chip distance %d exceeds gate %d: %w",
+		return nil, st, fmt.Errorf("core: worst chip distance %d exceeds gate %d: %w",
 			dem.WorstChipDistance, r.MaxChipDistance, ieee802154.ErrNoSync)
 	}
 	dem.SyncErrors = cap.PatternErrors
 	dem.SampleOffset = cap.SampleOffset
 	dem.CFOBias = cap.CFOBias
+	dem.SyncCorr = cap.SyncScore
+
+	st.Decoded = true
+	st.FCSOK = bitstream.CheckFCS(dem.PPDU.PSDU)
+	dem.Link = st
 
 	reg.Counter("wazabee_frames_received_total", "decoder", "wazabee").Inc()
 	result := "pass"
-	if !bitstream.CheckFCS(dem.PPDU.PSDU) {
+	if !st.FCSOK {
 		result = "fail"
 	}
 	reg.Counter("wazabee_crc_checks_total", "decoder", "wazabee", "result", result).Inc()
-	return dem, nil
+	return dem, st, nil
 }
 
 // PHY exposes the underlying BLE modem.

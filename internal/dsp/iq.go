@@ -40,6 +40,33 @@ func (s IQ) Power() float64 {
 	return sum / float64(len(s))
 }
 
+// PowerSegment returns the mean squared magnitude of the samples in
+// [from, to), clamped to the buffer; an empty range returns zero. Link
+// diagnostics use it to measure the decoded frame span and the
+// noise-only guard regions separately.
+func (s IQ) PowerSegment(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s) {
+		to = len(s)
+	}
+	if from >= to {
+		return 0
+	}
+	var sum float64
+	for _, v := range s[from:to] {
+		re, im := real(v), imag(v)
+		sum += re*re + im*im
+	}
+	return sum / float64(to-from)
+}
+
+// PowerSegment is the free-function form of IQ.PowerSegment.
+func PowerSegment(s IQ, from, to int) float64 {
+	return s.PowerSegment(from, to)
+}
+
 // Scale multiplies every sample by g in place and returns the buffer.
 func (s IQ) Scale(g float64) IQ {
 	for i := range s {

@@ -19,6 +19,7 @@ import (
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/obs"
+	oblink "wazabee/internal/obs/link"
 	"wazabee/internal/radio"
 	"wazabee/internal/zigbee"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// registry never sees a half-finished run. Nil merges into the
 	// process default registry.
 	Obs *obs.Registry
+	// Link, when non-nil, accumulates each frame's link diagnostics
+	// (SNR, CFO, chip errors, LQI) by channel, so a Table III run also
+	// yields the per-channel quality picture behind its tallies.
+	Link *oblink.Aggregator
 	// Seed makes the run reproducible.
 	Seed int64
 	// SNRdB is the link budget of the 3 m lab path before the
@@ -320,21 +325,27 @@ func runChannel(cfg Config, reg *obs.Registry, model chip.Model, side Side, chan
 			}
 
 			var psduRx []byte
+			var st *oblink.Stats
 			switch side {
 			case Reception:
-				dem, rerr := wazaRX.Receive(capture)
+				dem, stats, rerr := wazaRX.ReceiveStats(capture)
+				st = stats
 				if rerr != nil {
 					err = rerr
 				} else {
 					psduRx = dem.PPDU.PSDU
 				}
 			case Transmission:
-				dem, rerr := zigbeePHY.Demodulate(capture)
+				dem, stats, rerr := zigbeePHY.DemodulateStats(capture)
+				st = stats
 				if rerr != nil {
 					err = rerr
 				} else {
 					psduRx = dem.PPDU.PSDU
 				}
+			}
+			if cfg.Link != nil {
+				cfg.Link.Observe(channel, st)
 			}
 
 			switch {

@@ -8,6 +8,7 @@ import (
 	"wazabee/internal/bitstream"
 	"wazabee/internal/dsp"
 	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
 )
 
 // ErrNoSync is returned when the demodulator cannot find the preamble
@@ -103,6 +104,10 @@ type Demodulated struct {
 	// the whole frame; their ratio is a hard-decision quality summary.
 	TotalChipDistance int
 	SymbolCount       int
+	// ChipDistHist is the per-symbol Hamming-distance histogram:
+	// ChipDistHist[d] counts PHR/PSDU symbols that despread at distance
+	// d (clamped at 16) — the soft evidence behind the link LQI.
+	ChipDistHist [17]uint32
 	// TransitionSpan is the number of transition periods from the sync
 	// position to the end of the decoded frame.
 	TransitionSpan int
@@ -123,6 +128,13 @@ type Demodulated struct {
 	// CFOBias is the estimated carrier-frequency-offset contribution to
 	// each per-chip phase accumulation, in radians.
 	CFOBias float64
+	// SyncCorr is the normalized soft correlation of the preamble sync
+	// pattern (nominal 1.0). Only set by the demodulators.
+	SyncCorr float64
+	// Link carries the frame's full link-quality diagnostics (estimated
+	// SNR, CFO in Hz, chip error rate, LQI). Populated by
+	// DemodulateStats and core.Receiver.ReceiveStats.
+	Link *link.Stats
 }
 
 // syncPattern returns the MSK transition pattern of two consecutive zero
@@ -141,11 +153,28 @@ func syncPattern() bitstream.Bits {
 // WazaBee attack exploits; commercial 802.15.4 transceivers use the same
 // simplification.
 func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
+	dem, _, err := p.DemodulateStats(sig)
+	return dem, err
+}
+
+// DemodulateStats runs the same receiver but additionally returns the
+// frame's link-quality diagnostics. The stats are never nil: a capture
+// that fails to sync, aborts mid-frame or trips the chip-distance
+// quality gate still reports whatever evidence the receiver gathered
+// before giving up (whole-capture RSSI at minimum), with LQI already
+// finalized and the frame counted into the registry's link series.
+func (p *PHY) DemodulateStats(sig dsp.IQ) (*Demodulated, *link.Stats, error) {
 	reg := obs.Or(p.Obs)
+	st := &link.Stats{RSSIdBFS: link.RSSIdBFS(sig)}
+	defer func() {
+		st.Finalize()
+		link.Observe(reg, st, "decoder", "oqpsk")
+	}()
+
 	sps := p.SamplesPerChip
 	if len(sig) < 4*ChipsPerSymbol*sps {
 		reg.Counter("wazabee_sync_failures_total", "decoder", "oqpsk").Inc()
-		return nil, ErrNoSync
+		return nil, st, ErrNoSync
 	}
 	endDemod := obs.Stage(reg, p.Trace, "demod")
 	incs := dsp.Discriminate(sig)
@@ -176,10 +205,13 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 	if bestPhase < 0 {
 		endDemod()
 		reg.Counter("wazabee_sync_failures_total", "decoder", "oqpsk").Inc()
-		return nil, ErrNoSync
+		return nil, st, ErrNoSync
 	}
 	reg.Histogram("wazabee_aa_pattern_errors", obs.LinearBuckets(0, 1, 9), "decoder", "oqpsk").
 		Observe(float64(bestErrs))
+	st.Synced = true
+	st.SyncErrors = bestErrs
+	st.SyncCorr = bestScore / (float64(len(pattern)) * math.Pi / 2)
 
 	sums := dsp.IntegrateSymbols(incs, bestPhase, sps)
 
@@ -194,6 +226,7 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 		bias += sums[bestPos+i] - expected
 	}
 	bias /= float64(len(pattern))
+	st.CFOHz = link.CFOFromBias(bias, ChipRate)
 
 	bits := make(bitstream.Bits, len(sums))
 	for i, s := range sums {
@@ -208,17 +241,34 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 	endDespread()
 	if err != nil {
 		reg.Counter("wazabee_despread_failures_total", "decoder", "oqpsk").Inc()
-		return nil, err
+		// Mid-frame abort: the frame span is unknown, so only the
+		// sync-stage evidence is reportable.
+		return nil, st, err
+	}
+	st.WorstChipDistance = dem.WorstChipDistance
+	st.ChipErrors = dem.TotalChipDistance
+	st.ChipsCompared = dem.SymbolCount * (ChipsPerSymbol - 1)
+	st.DistHist = dem.ChipDistHist
+	frameStart := bestPhase + bestPos*sps
+	frameEnd := frameStart + dem.TransitionSpan*sps
+	if rssi, noise, snr, ok := link.Measure(sig, frameStart, frameEnd, sps); ok {
+		st.RSSIdBFS, st.NoisedBFS, st.SNRdB, st.SNRValid = rssi, noise, snr, true
+	} else {
+		st.RSSIdBFS = rssi
 	}
 	reg.Histogram("wazabee_worst_chip_distance", obs.DistanceBuckets, "decoder", "oqpsk").
 		Observe(float64(dem.WorstChipDistance))
 	if p.MaxChipDistance > 0 && dem.WorstChipDistance > p.MaxChipDistance {
 		reg.Counter("wazabee_quality_gate_drops_total", "decoder", "oqpsk").Inc()
-		return nil, ErrNoSync
+		st.Gated = true
+		return nil, st, ErrNoSync
 	}
+	st.Decoded = true
 	dem.SyncErrors = bestErrs
 	dem.SampleOffset = bestPhase
 	dem.CFOBias = bias
+	dem.SyncCorr = st.SyncCorr
+	dem.Link = st
 
 	// Modulation fingerprint: RMS deviation of the CFO-compensated
 	// per-chip phase steps from ±π/2 over the decoded frame span.
@@ -238,11 +288,12 @@ func (p *PHY) Demodulate(sig dsp.IQ) (*Demodulated, error) {
 	}
 	reg.Counter("wazabee_frames_received_total", "decoder", "oqpsk").Inc()
 	result := "pass"
-	if !bitstream.CheckFCS(dem.PPDU.PSDU) {
+	st.FCSOK = bitstream.CheckFCS(dem.PPDU.PSDU)
+	if !st.FCSOK {
 		result = "fail"
 	}
 	reg.Counter("wazabee_crc_checks_total", "decoder", "oqpsk", "result", result).Inc()
-	return dem, nil
+	return dem, st, nil
 }
 
 // DecodePPDUFromTransitions walks a hard-decision MSK transition stream
@@ -289,20 +340,26 @@ func DecodePPDUFromTransitions(bits bitstream.Bits, pos int) (*Demodulated, erro
 	}
 
 	worst, total, count := 0, 0, 0
+	var hist [17]uint32
+	record := func(d int) {
+		if d > worst {
+			worst = d
+		}
+		total += d
+		count++
+		if d > 16 {
+			d = 16
+		}
+		hist[d]++
+	}
 	readByte := func(n int) (byte, bool) {
 		lo, d1, ok1 := symbolAt(n)
 		hi, d2, ok2 := symbolAt(n + 1)
 		if !ok1 || !ok2 {
 			return 0, false
 		}
-		if d1 > worst {
-			worst = d1
-		}
-		if d2 > worst {
-			worst = d2
-		}
-		total += d1 + d2
-		count += 2
+		record(d1)
+		record(d2)
 		return byte(lo) | byte(hi)<<4, true
 	}
 
@@ -327,6 +384,7 @@ func DecodePPDUFromTransitions(bits bitstream.Bits, pos int) (*Demodulated, erro
 		WorstChipDistance: worst,
 		TotalChipDistance: total,
 		SymbolCount:       count,
+		ChipDistHist:      hist,
 		TransitionSpan:    (sfdAt + 4 + 2*int(phr)) * ChipsPerSymbol,
 	}, nil
 }

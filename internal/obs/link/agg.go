@@ -1,0 +1,201 @@
+package link
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"wazabee/internal/obs"
+)
+
+// Aggregator folds per-frame Stats into per-channel summaries. It is
+// safe for concurrent use; every Observe also feeds the per-channel
+// metric series of the backing obs registry, so the same evidence is
+// visible as JSON (the /debug/link endpoint), as a formatted table (the
+// daemon's shutdown summary) and as Prometheus series.
+type Aggregator struct {
+	reg *obs.Registry
+
+	mu sync.Mutex
+	ch map[int]*channelAgg
+}
+
+type channelAgg struct {
+	frames, decoded, gated, noSync, fcsOK uint64
+
+	snrFrames uint64
+	snrSum    float64
+	cfoFrames uint64
+	cfoSum    float64
+	lqiSum    float64
+	chipErrs  uint64
+	chips     uint64
+	worst     int
+
+	last Stats
+}
+
+// NewAggregator builds an aggregator reporting into reg; nil falls back
+// to the process default registry.
+func NewAggregator(reg *obs.Registry) *Aggregator {
+	return &Aggregator{reg: obs.Or(reg), ch: make(map[int]*channelAgg)}
+}
+
+// Observe folds one frame's diagnostics into the channel's aggregate
+// and the registry's per-channel series. nil stats are ignored.
+func (a *Aggregator) Observe(channel int, st *Stats) {
+	if st == nil {
+		return
+	}
+	Observe(a.reg, st, "channel", strconv.Itoa(channel))
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.ch[channel]
+	if c == nil {
+		c = &channelAgg{}
+		a.ch[channel] = c
+	}
+	c.frames++
+	c.lqiSum += float64(st.LQI)
+	switch {
+	case !st.Synced:
+		c.noSync++
+	case st.Gated:
+		c.gated++
+	case st.Decoded:
+		c.decoded++
+	}
+	if st.Decoded && st.FCSOK {
+		c.fcsOK++
+	}
+	if st.SNRValid {
+		c.snrFrames++
+		c.snrSum += st.SNRdB
+	}
+	if st.Synced {
+		c.cfoFrames++
+		c.cfoSum += st.CFOHz
+	}
+	c.chipErrs += uint64(st.ChipErrors)
+	c.chips += uint64(st.ChipsCompared)
+	if st.WorstChipDistance > c.worst {
+		c.worst = st.WorstChipDistance
+	}
+	c.last = *st
+}
+
+// ChannelSummary is one channel's aggregate view — one element of the
+// /debug/link JSON payload.
+type ChannelSummary struct {
+	Channel int `json:"channel"`
+	// Frames counts every receive attempt; Decoded, Gated and NoSync
+	// partition the outcomes (the remainder are mid-frame aborts).
+	Frames  uint64 `json:"frames"`
+	Decoded uint64 `json:"decoded"`
+	Gated   uint64 `json:"gated,omitempty"`
+	NoSync  uint64 `json:"no_sync,omitempty"`
+	FCSOK   uint64 `json:"fcs_ok"`
+	// MeanLQI averages over every attempt (undecoded frames count as 0,
+	// so a lossy channel's mean collapses the way Table III's loss rows
+	// do). MeanSNRdB and MeanCFOHz average only frames that carried a
+	// valid estimate.
+	MeanLQI           float64 `json:"mean_lqi"`
+	MeanSNRdB         float64 `json:"mean_snr_db"`
+	SNRFrames         uint64  `json:"snr_frames"`
+	MeanCFOHz         float64 `json:"mean_cfo_hz"`
+	MeanChipErrorRate float64 `json:"mean_chip_error_rate"`
+	WorstChipDistance int     `json:"worst_chip_distance"`
+	// LastLQI and LastSNRdB snapshot the most recent frame.
+	LastLQI   uint8   `json:"last_lqi"`
+	LastSNRdB float64 `json:"last_snr_db"`
+}
+
+func (c *channelAgg) summary(channel int) ChannelSummary {
+	s := ChannelSummary{
+		Channel:           channel,
+		Frames:            c.frames,
+		Decoded:           c.decoded,
+		Gated:             c.gated,
+		NoSync:            c.noSync,
+		FCSOK:             c.fcsOK,
+		WorstChipDistance: c.worst,
+		LastLQI:           c.last.LQI,
+		LastSNRdB:         c.last.SNRdB,
+	}
+	if c.frames > 0 {
+		s.MeanLQI = c.lqiSum / float64(c.frames)
+	}
+	if c.snrFrames > 0 {
+		s.MeanSNRdB = c.snrSum / float64(c.snrFrames)
+		s.SNRFrames = c.snrFrames
+	}
+	if c.cfoFrames > 0 {
+		s.MeanCFOHz = c.cfoSum / float64(c.cfoFrames)
+	}
+	if c.chips > 0 {
+		s.MeanChipErrorRate = float64(c.chipErrs) / float64(c.chips)
+	}
+	return s
+}
+
+// Snapshot returns every channel's summary, ordered by channel.
+func (a *Aggregator) Snapshot() []ChannelSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ChannelSummary, 0, len(a.ch))
+	for channel, c := range a.ch {
+		out = append(out, c.summary(channel))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// Summary returns one channel's aggregate, and false when the channel
+// has seen no frames.
+func (a *Aggregator) Summary(channel int) (ChannelSummary, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.ch[channel]
+	if !ok {
+		return ChannelSummary{}, false
+	}
+	return c.summary(channel), true
+}
+
+// ServeHTTP serves the per-channel aggregates as JSON — the payload of
+// wazabeed's /debug/link endpoint.
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	payload := struct {
+		Channels []ChannelSummary `json:"channels"`
+	}{Channels: a.Snapshot()}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// Table renders the aggregates as aligned per-channel summary lines,
+// one per channel, for operator-facing output.
+func (a *Aggregator) Table() string {
+	snaps := a.Snapshot()
+	if len(snaps) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %7s %8s %7s %8s %9s %10s %9s %6s\n",
+		"ch", "frames", "decoded", "no-sync", "fcs-ok", "snr(dB)", "cfo(Hz)", "chip-err", "lqi")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%-4d %7d %8d %7d %8d %9.1f %10.0f %9.4f %6.0f\n",
+			s.Channel, s.Frames, s.Decoded, s.NoSync, s.FCSOK,
+			s.MeanSNRdB, s.MeanCFOHz, s.MeanChipErrorRate, s.MeanLQI)
+	}
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package link
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wazabee/internal/dsp"
+	"wazabee/internal/obs"
+)
+
+func TestComputeLQIScale(t *testing.T) {
+	cases := []struct {
+		name     string
+		cer, snr float64
+		snrValid bool
+		want     uint8
+	}{
+		{"perfect chips, saturated SNR", 0, 30, true, 255},
+		{"perfect chips, no SNR estimate", 0, 0, false, 255},
+		{"perfect chips, zero SNR", 0, 0, true, 191},
+		{"max CER bottoms out", 0.30, 30, true, 0},
+		{"beyond max CER clamps", 0.9, 30, true, 0},
+		{"half CER, saturated SNR", 0.15, 30, true, 128},
+	}
+	for _, c := range cases {
+		if got := ComputeLQI(c.cer, c.snr, c.snrValid); got != c.want {
+			t.Errorf("%s: ComputeLQI(%g, %g, %v) = %d, want %d",
+				c.name, c.cer, c.snr, c.snrValid, got, c.want)
+		}
+	}
+}
+
+func TestComputeLQIMonotonicInCER(t *testing.T) {
+	prev := ComputeLQI(0, 10, true)
+	for cer := 0.02; cer <= 0.32; cer += 0.02 {
+		cur := ComputeLQI(cer, 10, true)
+		if cur > prev {
+			t.Fatalf("LQI not monotonically non-increasing in CER: %d > %d at cer=%g", cur, prev, cer)
+		}
+		prev = cur
+	}
+}
+
+func TestFinalizeUndecodedFrameGetsZeroLQI(t *testing.T) {
+	st := &Stats{SNRdB: 30, SNRValid: true}
+	st.Finalize()
+	if st.LQI != 0 {
+		t.Errorf("LQI of frame with no despread symbols = %d, want 0", st.LQI)
+	}
+	st = &Stats{ChipsCompared: 100, ChipErrors: 0, SNRdB: 30, SNRValid: true}
+	st.Finalize()
+	if st.LQI != 255 {
+		t.Errorf("LQI of error-free frame = %d, want 255", st.LQI)
+	}
+}
+
+func TestStatsResultClassification(t *testing.T) {
+	cases := []struct {
+		st   Stats
+		want string
+	}{
+		{Stats{}, "no_sync"},
+		{Stats{Synced: true}, "despread_failed"},
+		{Stats{Synced: true, Gated: true}, "gated"},
+		{Stats{Synced: true, Decoded: true}, "decoded"},
+	}
+	for _, c := range cases {
+		if got := c.st.Result(); got != c.want {
+			t.Errorf("Result(%+v) = %q, want %q", c.st, got, c.want)
+		}
+	}
+}
+
+// TestMeasureRecoversConfiguredSNR builds a synthetic capture — unit
+// carrier in the frame span, AWGN everywhere — and checks the estimator
+// recovers the configured SNR within tolerance across a sweep.
+func TestMeasureRecoversConfiguredSNR(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	const lead, span, lag = 800, 4000, 800
+	for _, snrDB := range []float64{0, 5, 10, 15, 20, 25} {
+		sig := make(dsp.IQ, lead+span+lag)
+		for i := lead; i < lead+span; i++ {
+			sig[i] = 1
+		}
+		noisePower := 1.0 / math.Pow(10, snrDB/10)
+		sigma := math.Sqrt(noisePower / 2)
+		for i := range sig {
+			sig[i] += complex(rnd.NormFloat64()*sigma, rnd.NormFloat64()*sigma)
+		}
+		rssi, noise, got, ok := Measure(sig, lead, lead+span, 8)
+		if !ok {
+			t.Fatalf("snr %g: Measure not ok", snrDB)
+		}
+		if math.Abs(got-snrDB) > 1.5 {
+			t.Errorf("snr %g: estimated %.2f dB, off by more than 1.5 dB", snrDB, got)
+		}
+		if rssi <= noise {
+			t.Errorf("snr %g: rssi %.1f not above noise floor %.1f", snrDB, rssi, noise)
+		}
+	}
+}
+
+func TestMeasureRefusesShortRegions(t *testing.T) {
+	sig := make(dsp.IQ, 64)
+	for i := range sig {
+		sig[i] = 1
+	}
+	// No noise-only margin at all.
+	if _, _, _, ok := Measure(sig, 0, len(sig), 8); ok {
+		t.Error("Measure ok with no noise-only region")
+	}
+	// Frame span shorter than the minimum.
+	if _, _, _, ok := Measure(sig, 30, 34, 0); ok {
+		t.Error("Measure ok with a 4-sample frame span")
+	}
+	// Degenerate span.
+	if _, _, _, ok := Measure(sig, 40, 40, 0); ok {
+		t.Error("Measure ok with empty span")
+	}
+}
+
+func TestCFOFromBias(t *testing.T) {
+	// One full turn per symbol at 2 Msym/s is 2 MHz of offset.
+	if got := CFOFromBias(2*math.Pi, 2_000_000); math.Abs(got-2_000_000) > 1e-6 {
+		t.Errorf("CFOFromBias(2π, 2M) = %g, want 2e6", got)
+	}
+	if got := CFOFromBias(0, 2_000_000); got != 0 {
+		t.Errorf("CFOFromBias(0, 2M) = %g, want 0", got)
+	}
+	if got := CFOFromBias(-math.Pi, 2_000_000); math.Abs(got+1_000_000) > 1e-6 {
+		t.Errorf("CFOFromBias(-π, 2M) = %g, want -1e6", got)
+	}
+}
+
+func TestObserveFeedsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	decoded := &Stats{
+		Synced: true, Decoded: true, FCSOK: true,
+		SNRdB: 14, SNRValid: true, CFOHz: 1200,
+		ChipErrors: 3, ChipsCompared: 310,
+	}
+	decoded.Finalize()
+	Observe(reg, decoded, "decoder", "wazabee")
+	noSync := &Stats{}
+	noSync.Finalize()
+	Observe(reg, noSync, "decoder", "wazabee")
+	Observe(reg, nil, "decoder", "wazabee") // must be a no-op
+
+	if got := reg.Counter(MetricFrames, "result", "decoded", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("decoded frames counter = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricFrames, "result", "no_sync", "decoder", "wazabee").Value(); got != 1 {
+		t.Errorf("no_sync frames counter = %d, want 1", got)
+	}
+	if got := reg.Histogram(MetricLQI, LQIBuckets, "decoder", "wazabee").Count(); got != 2 {
+		t.Errorf("LQI histogram count = %d, want 2 (every attempt)", got)
+	}
+	if got := reg.Histogram(MetricSNR, SNRBuckets, "decoder", "wazabee").Count(); got != 1 {
+		t.Errorf("SNR histogram count = %d, want 1 (valid estimates only)", got)
+	}
+	if got := reg.Gauge(MetricCFO, "decoder", "wazabee").Value(); got != 1200 {
+		t.Errorf("CFO gauge = %g, want 1200", got)
+	}
+	if got := reg.Counter(MetricChipErrors, "decoder", "wazabee").Value(); got != 3 {
+		t.Errorf("chip errors counter = %d, want 3", got)
+	}
+	if got := reg.Counter(MetricChips, "decoder", "wazabee").Value(); got != 310 {
+		t.Errorf("chips counter = %d, want 310", got)
+	}
+}
+
+func TestAggregatorSummaries(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAggregator(reg)
+
+	good := &Stats{Synced: true, Decoded: true, FCSOK: true,
+		SNRdB: 20, SNRValid: true, CFOHz: 500, ChipsCompared: 310}
+	good.Finalize()
+	bad := &Stats{}
+	bad.Finalize()
+	a.Observe(14, good)
+	a.Observe(14, bad)
+	a.Observe(17, bad)
+	a.Observe(17, nil) // ignored
+
+	snaps := a.Snapshot()
+	if len(snaps) != 2 || snaps[0].Channel != 14 || snaps[1].Channel != 17 {
+		t.Fatalf("Snapshot channels = %+v, want [14 17]", snaps)
+	}
+	s14, ok := a.Summary(14)
+	if !ok {
+		t.Fatal("channel 14 missing")
+	}
+	if s14.Frames != 2 || s14.Decoded != 1 || s14.NoSync != 1 || s14.FCSOK != 1 {
+		t.Errorf("channel 14 tallies = %+v", s14)
+	}
+	// Mean LQI averages over every attempt: (255 + 0) / 2.
+	if math.Abs(s14.MeanLQI-127.5) > 1e-9 {
+		t.Errorf("channel 14 mean LQI = %g, want 127.5", s14.MeanLQI)
+	}
+	if s14.MeanSNRdB != 20 || s14.SNRFrames != 1 {
+		t.Errorf("channel 14 SNR aggregate = %g over %d frames", s14.MeanSNRdB, s14.SNRFrames)
+	}
+	if _, ok := a.Summary(26); ok {
+		t.Error("unobserved channel 26 reported a summary")
+	}
+
+	// The aggregator also feeds the per-channel metric series.
+	if got := reg.Counter(MetricFrames, "result", "decoded", "channel", "14").Value(); got != 1 {
+		t.Errorf("per-channel decoded counter = %d, want 1", got)
+	}
+}
+
+func TestAggregatorServeHTTP(t *testing.T) {
+	a := NewAggregator(obs.NewRegistry())
+	st := &Stats{Synced: true, Decoded: true, ChipsCompared: 310}
+	st.Finalize()
+	a.Observe(14, st)
+
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/link", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var payload struct {
+		Channels []ChannelSummary `json:"channels"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if len(payload.Channels) != 1 || payload.Channels[0].Channel != 14 {
+		t.Fatalf("payload = %+v", payload)
+	}
+	if payload.Channels[0].Frames != 1 || payload.Channels[0].Decoded != 1 {
+		t.Errorf("channel 14 = %+v", payload.Channels[0])
+	}
+}
+
+func TestAggregatorTable(t *testing.T) {
+	a := NewAggregator(obs.NewRegistry())
+	if a.Table() != "" {
+		t.Error("empty aggregator should render an empty table")
+	}
+	st := &Stats{Synced: true, Decoded: true, ChipsCompared: 310}
+	st.Finalize()
+	a.Observe(14, st)
+	table := a.Table()
+	if !strings.Contains(table, "ch") || !strings.Contains(table, "14") {
+		t.Errorf("table missing header or channel row:\n%s", table)
+	}
+	if lines := strings.Count(strings.TrimRight(table, "\n"), "\n") + 1; lines != 2 {
+		t.Errorf("table has %d lines, want header + 1 channel", lines)
+	}
+}

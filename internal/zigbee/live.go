@@ -20,6 +20,10 @@ type Capture struct {
 	Channel int
 	// Seq numbers the capture within this live run, starting at zero.
 	Seq uint64
+	// LinkSNRdB is the configured attacker-link signal-to-noise ratio
+	// the medium applied to this capture, so a receiver's in-band SNR
+	// estimate can be checked against ground truth.
+	LinkSNRdB float64
 }
 
 // LiveNetwork runs the victim network in real time: a background
@@ -109,7 +113,13 @@ func (l *LiveNetwork) run() {
 				l.mu.Unlock()
 				return
 			}
-			capture := Capture{IQ: sig, At: time.Now(), Channel: l.captureChannel, Seq: seq}
+			capture := Capture{
+				IQ:        sig,
+				At:        time.Now(),
+				Channel:   l.captureChannel,
+				Seq:       seq,
+				LinkSNRdB: l.sim.AttackerLink.SNRdB,
+			}
 			seq++
 			select {
 			case l.captures <- capture:

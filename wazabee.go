@@ -28,6 +28,7 @@ import (
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/modsim"
 	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
 	"wazabee/internal/zigbee"
 )
 
@@ -233,6 +234,44 @@ func NewMetricsRegistry() *MetricsRegistry {
 // medium via their Trace field and render it with Tree() or JSON().
 func NewTrace(name string) *Trace {
 	return obs.NewTrace(name)
+}
+
+// Link diagnostics: the per-frame signal-quality evidence (RSSI, SNR,
+// CFO, sync correlation, chip errors, 802.15.4 LQI) the demodulators
+// attach to every receive attempt (see DESIGN.md §7).
+type (
+	// LinkStats is one frame's link-quality record; Receiver.ReceiveStats
+	// returns it alongside the demodulation.
+	LinkStats = link.Stats
+	// LinkAggregator folds LinkStats into per-channel summaries — the
+	// payload of wazabeed's /debug/link endpoint.
+	LinkAggregator = link.Aggregator
+	// LinkChannelSummary is one channel's aggregate link quality.
+	LinkChannelSummary = link.ChannelSummary
+	// Logger is the leveled structured event logger (JSON lines plus a
+	// bounded ring buffer — wazabeed's /logz endpoint).
+	Logger = obs.Logger
+	// LogEvent is one structured log record.
+	LogEvent = obs.Event
+)
+
+// NewLinkAggregator builds a per-channel link-quality aggregator
+// reporting into the process default metrics registry.
+func NewLinkAggregator() *LinkAggregator {
+	return link.NewAggregator(nil)
+}
+
+// DefaultLogger returns the process-wide structured logger; direct its
+// output with SetSink and tune severities with SetLevel /
+// SetComponentLevel.
+func DefaultLogger() *Logger {
+	return obs.DefaultLogger()
+}
+
+// ComputeLQI maps a chip error rate and an SNR estimate onto the
+// 802.15.4 link-quality-indication scale (0–255).
+func ComputeLQI(chipErrorRate, snrDB float64, snrValid bool) uint8 {
+	return link.ComputeLQI(chipErrorRate, snrDB, snrValid)
 }
 
 // Capture subsystem: persistence, fan-out streaming and deterministic
