@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race bench fuzz smoke ci
+.PHONY: build vet test race racestream bench fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,18 +15,32 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark sweep with allocation counts, repeated for statistical
+# stability, persisted both as raw text (bench.out — feed two of these to
+# benchstat to compare revisions) and as machine-readable BENCH.json.
+# BenchmarkWazaBeeRX/TX are the pre-streaming "before" paths;
+# BenchmarkRxStream/BenchmarkTxPooled are the pooled streaming "after".
+BENCHCOUNT ?= 5
 bench:
-	$(GO) test -bench . -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCHCOUNT) . | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH.json
 
 # Short smoke runs of the native fuzzers: the capture readers must never
-# panic on corrupt pcap/ZEP input.
+# panic on corrupt pcap/ZEP input, and the streaming receiver must decode
+# byte-identically for any fuzzed chunking of a capture.
 fuzz:
 	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzPCAPRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzZEPDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzStreamChunks -fuzztime $(FUZZTIME)
+
+# The concurrent per-channel streaming test under the race detector:
+# many RxStreams plus whole-capture calls sharing one Receiver/registry.
+racestream:
+	$(GO) test -race -run TestStreamConcurrentChannels -count 4 ./internal/core
 
 # One-shot link diagnostics over the simulated medium: exercises the
 # whole TX → medium → RX → LinkStats path from the CLI.
 smoke:
 	$(GO) run ./cmd/wazabee link -frames 5
 
-ci: vet build test race fuzz smoke
+ci: vet build test race racestream fuzz smoke

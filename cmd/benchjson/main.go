@@ -1,0 +1,182 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report (BENCH.json), so benchmark history can be
+// diffed and the streaming-pipeline before/after allocation comparison
+// is queryable without re-parsing the bench text format.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 . | tee bench.out
+//	go run ./cmd/benchjson -in bench.out -out BENCH.json
+//
+// Each benchmark line becomes one entry; repeated -count runs of the
+// same benchmark are aggregated (mean over runs, per extra metric too).
+// For statistical comparison across revisions, feed the same bench.out
+// files to benchstat.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result aggregates every run of one benchmark.
+type Result struct {
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+	// Iterations is the mean b.N across runs.
+	Iterations float64 `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp come from -benchmem; absent metrics stay
+	// zero and are listed in Metrics only when reported.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every extra b.ReportMetric unit (valid%, stage
+	// timings, ...), mean over runs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parse consumes go-test bench output and aggregates per-benchmark sums;
+// header key/value lines (goos:, pkg:, ...) fill the report preamble.
+func parse(r io.Reader) (*report, error) {
+	rep := &report{}
+	sums := map[string]*Result{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		// Strip the -<GOMAXPROCS> suffix so counts aggregate by name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		res := sums[name]
+		if res == nil {
+			res = &Result{Name: name, Metrics: map[string]float64{}}
+			sums[name] = res
+			order = append(order, name)
+		}
+		res.Runs++
+		res.Iterations += iters
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp += v
+			case "B/op":
+				res.BytesPerOp += v
+			case "allocs/op":
+				res.AllocsPerOp += v
+			default:
+				res.Metrics[fields[i+1]] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		res := sums[name]
+		n := float64(res.Runs)
+		res.Iterations /= n
+		res.NsPerOp /= n
+		res.BytesPerOp /= n
+		res.AllocsPerOp /= n
+		for k := range res.Metrics {
+			res.Metrics[k] /= n
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, *res)
+	}
+	return rep, nil
+}
+
+func run(inPath, outPath string) error {
+	var in io.Reader = os.Stdin
+	if inPath != "" && inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func main() {
+	inPath := flag.String("in", "-", "bench output file (- for stdin)")
+	outPath := flag.String("out", "-", "JSON report path (- for stdout)")
+	flag.Parse()
+	if err := run(*inPath, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

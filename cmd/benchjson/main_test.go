@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wazabee
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWazaBeeRX-4 	     200	    261553 ns/op	    225206 aa-correlate-ns/op	    5948 B/op	      90 allocs/op
+BenchmarkWazaBeeRX-4 	     220	    241553 ns/op	    215206 aa-correlate-ns/op	    5900 B/op	      90 allocs/op
+BenchmarkRxStream-4  	     200	    288145 ns/op	    2448 B/op	      59 allocs/op
+PASS
+ok  	wazabee	0.245s
+`
+
+func TestParseAggregates(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "wazabee" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("preamble = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	byName := map[string]Result{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	rx := byName["BenchmarkWazaBeeRX"]
+	if rx.Runs != 2 {
+		t.Errorf("runs = %d, want 2 (GOMAXPROCS suffix stripped, counts merged)", rx.Runs)
+	}
+	if rx.NsPerOp != (261553.0+241553.0)/2 {
+		t.Errorf("ns/op mean = %v", rx.NsPerOp)
+	}
+	if rx.AllocsPerOp != 90 || rx.BytesPerOp != 5924 {
+		t.Errorf("mem = %v B/op, %v allocs/op", rx.BytesPerOp, rx.AllocsPerOp)
+	}
+	if rx.Metrics["aa-correlate-ns/op"] != (225206.0+215206.0)/2 {
+		t.Errorf("extra metric = %v", rx.Metrics["aa-correlate-ns/op"])
+	}
+	stream := byName["BenchmarkRxStream"]
+	if stream.Runs != 1 || stream.AllocsPerOp != 59 || stream.Metrics != nil {
+		t.Errorf("stream entry = %+v", stream)
+	}
+	if _, err := parse(strings.NewReader("PASS\n")); err != nil {
+		t.Errorf("empty input must parse (error handled by run): %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"wazabee/internal/bitstream"
 	"wazabee/internal/dsp"
+	"wazabee/internal/dsp/stream"
 )
 
 // Mode selects the physical-layer variant of a BLE-family radio.
@@ -119,13 +120,30 @@ func NewPHYWithShaping(mode Mode, samplesPerSymbol int, modIndex, bt float64) (*
 // ±π·ModulationIndex; with the nominal index 0.5 that is the ±π/2 per
 // symbol of MSK.
 func (p *PHY) ModulateBits(bits bitstream.Bits) (dsp.IQ, error) {
+	out, err := p.AppendModulateBits(nil, bits)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendModulateBits is the allocation-free form of ModulateBits: it
+// appends the waveform to dst (which may be a pooled slab) and returns
+// the extended slice. The frequency-trace scratch is borrowed from the
+// shared buffer pool, so a warmed-up transmit path performs no heap
+// allocation beyond growing dst.
+func (p *PHY) AppendModulateBits(dst dsp.IQ, bits bitstream.Bits) (dsp.IQ, error) {
 	if len(bits) == 0 {
 		return nil, fmt.Errorf("ble: empty bit stream")
 	}
 	sps := p.SamplesPerSymbol
 	// Frequency trace: superpose one shaped pulse per symbol.
 	n := len(bits)*sps + len(p.pulse) - sps
-	freq := make([]float64, n)
+	pool := stream.Shared()
+	freq := pool.F64(n)[:n]
+	for i := range freq {
+		freq[i] = 0
+	}
 	gain := math.Pi * p.ModulationIndex / float64(sps)
 	for k, b := range bits {
 		a := gain
@@ -140,10 +158,9 @@ func (p *PHY) ModulateBits(bits bitstream.Bits) (dsp.IQ, error) {
 	// Integrate to phase and emit the constant-envelope waveform. One
 	// trailing sample carries the final accumulated phase so that the
 	// last symbol keeps all of its phase increments.
-	out := make(dsp.IQ, n+1)
 	phase := 0.0
-	for i, f := range freq {
-		out[i] = complex(math.Cos(phase), math.Sin(phase))
+	for _, f := range freq {
+		dst = append(dst, complex(math.Cos(phase), math.Sin(phase)))
 		phase += f
 		if phase > math.Pi {
 			phase -= 2 * math.Pi
@@ -151,8 +168,9 @@ func (p *PHY) ModulateBits(bits bitstream.Bits) (dsp.IQ, error) {
 			phase += 2 * math.Pi
 		}
 	}
-	out[n] = complex(math.Cos(phase), math.Sin(phase))
-	return out, nil
+	dst = append(dst, complex(math.Cos(phase), math.Sin(phase)))
+	pool.PutF64(freq)
+	return dst, nil
 }
 
 // Capture is a demodulated frame-aligned bit stream.

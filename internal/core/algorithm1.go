@@ -40,6 +40,16 @@ func ConvertChipStream(chips bitstream.Bits) (bitstream.Bits, error) {
 	return convert(chips), nil
 }
 
+// AppendConvertChipStream is the appending form of ConvertChipStream
+// for pooled transmit scratch: the n-1 MSK bits of the chip stream are
+// appended to dst.
+func AppendConvertChipStream(dst, chips bitstream.Bits) (bitstream.Bits, error) {
+	if len(chips) < 2 {
+		return dst, fmt.Errorf("core: chip stream length %d < 2", len(chips))
+	}
+	return appendConvert(dst, chips), nil
+}
+
 // convert runs the Algorithm 1 state machine over a chip sequence of any
 // length. The state tracks the constellation position; at every chip the
 // counter-clockwise neighbour state is taken when its label matches the
@@ -56,7 +66,11 @@ func ConvertChipStream(chips bitstream.Bits) (bitstream.Bits, error) {
 // match the waveform for all sixteen sequences — verified against the
 // modulator in the package tests.
 func convert(chips bitstream.Bits) bitstream.Bits {
-	msk := make(bitstream.Bits, len(chips)-1)
+	return appendConvert(make(bitstream.Bits, 0, len(chips)-1), chips)
+}
+
+// appendConvert is convert in appending form, reusing dst's capacity.
+func appendConvert(dst, chips bitstream.Bits) bitstream.Bits {
 	currentState := 0
 	if chips[0] == 0 {
 		currentState = 1
@@ -68,13 +82,13 @@ func convert(chips bitstream.Bits) bitstream.Bits {
 		}
 		if chips[i] == states[(currentState+1)%4] {
 			currentState = (currentState + 1) % 4
-			msk[i-1] = 1
+			dst = append(dst, 1)
 		} else {
 			currentState = (currentState + 3) % 4
-			msk[i-1] = 0
+			dst = append(dst, 0)
 		}
 	}
-	return msk
+	return dst
 }
 
 // CorrespondenceEntry is one row of the PN/MSK correspondence table the

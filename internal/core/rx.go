@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"wazabee/internal/bitstream"
 	"wazabee/internal/ble"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
@@ -36,6 +35,12 @@ type Receiver struct {
 	// Trace, when non-nil, records a span per pipeline stage
 	// (aa-correlate, despread) for each Receive call.
 	Trace *obs.Trace
+
+	// stream backs the incremental Push/FlushStream convenience API;
+	// Receive/ReceiveStats always run on a fresh stream so they stay
+	// safe to call concurrently (the Table III harness fans one
+	// receiver call out per channel).
+	stream *RxStream
 }
 
 // NewReceiver wraps a BLE PHY; like the transmitter it requires the 2
@@ -71,86 +76,39 @@ func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
 // sync failure, mid-frame abort, quality-gate drop or clean decode —
 // yields a finalized record with at least the capture RSSI, and the
 // record is also fed to the receiver's metrics registry.
+//
+// Since the streaming refactor this is a thin wrapper over a
+// single-capture RxStream (one Push, one Flush); the results — frame
+// bytes, stats, error chains, metrics — are identical to the former
+// one-shot implementation. Each call runs on a fresh stream, so
+// concurrent calls on one Receiver remain safe.
 func (r *Receiver) ReceiveStats(sig dsp.IQ) (*ieee802154.Demodulated, *link.Stats, error) {
-	reg := obs.Or(r.Obs)
-	st := &link.Stats{RSSIdBFS: link.RSSIdBFS(sig)}
-	defer func() {
-		st.Finalize()
-		link.Observe(reg, st, "decoder", "wazabee")
-	}()
+	s := r.Stream()
+	defer s.Close()
+	s.Push(sig)
+	return s.Flush()
+}
 
-	endCorrelate := obs.Stage(reg, r.Trace, "aa-correlate")
-	cap, err := r.phy.DemodulateFrame(sig, AccessPattern(), r.MaxPatternErrors)
-	endCorrelate()
-	if err != nil {
-		reg.Counter("wazabee_sync_failures_total", "decoder", "wazabee").Inc()
-		// Normalise to the PHY-level sentinel so callers classify
-		// "not received" uniformly, but keep the BLE demodulator's
-		// error as the distinguishable cause.
-		return nil, st, fmt.Errorf("core: access address correlation: %w: %w", ieee802154.ErrNoSync, err)
+// Push feeds one IQ chunk into the receiver's internal stream, creating
+// it on first use, and returns any frame completed by this chunk. Pair
+// with FlushStream at capture boundaries. Unlike Receive/ReceiveStats,
+// the incremental API is not goroutine-safe — it shares one stream
+// across calls; use Stream() directly for one stream per goroutine.
+func (r *Receiver) Push(chunk dsp.IQ) []*ieee802154.Demodulated {
+	if r.stream == nil {
+		r.stream = r.Stream()
 	}
-	st.Synced = true
-	st.SyncErrors = cap.PatternErrors
-	st.SyncCorr = cap.SyncScore
-	st.CFOHz = link.CFOFromBias(cap.CFOBias, ieee802154.ChipRate)
-	reg.Histogram("wazabee_aa_pattern_errors", obs.LinearBuckets(0, 1, 9), "decoder", "wazabee").
-		Observe(float64(cap.PatternErrors))
+	return r.stream.Push(chunk)
+}
 
-	endDespread := obs.Stage(reg, r.Trace, "despread")
-	dem, err := ieee802154.DecodePPDUFromTransitions(cap.Bits, 0)
-	endDespread()
-	if err != nil {
-		reg.Counter("wazabee_despread_failures_total", "decoder", "wazabee").Inc()
-		// A mid-frame abort after a good Access Address match: still
-		// "not received", but distinguishable from a sync failure.
-		return nil, st, fmt.Errorf("core: despread after sync: %w", err)
+// FlushStream concludes the internal stream's current capture: the
+// decoded frame (or "not received" error) and link stats, exactly as
+// Receive would report for the concatenated chunks.
+func (r *Receiver) FlushStream() (*ieee802154.Demodulated, *link.Stats, error) {
+	if r.stream == nil {
+		r.stream = r.Stream()
 	}
-	st.WorstChipDistance = dem.WorstChipDistance
-	st.ChipErrors = dem.TotalChipDistance
-	st.ChipsCompared = dem.SymbolCount * (ieee802154.ChipsPerSymbol - 1)
-	st.DistHist = dem.ChipDistHist
-
-	// The frame span at the recovered timing phase bounds the signal
-	// power measurement; everything outside it is the noise floor. Two
-	// chip periods of guard on each side keep the half-chip O-QPSK
-	// offset, the trailing chip past the last transition and the
-	// Gaussian pulse tails out of the noise estimate.
-	sps := r.phy.SamplesPerSymbol
-	frameStart := cap.SampleOffset + cap.PatternStart*sps
-	frameEnd := frameStart + dem.TransitionSpan*sps
-	if rssi, noise, snr, ok := link.Measure(sig, frameStart, frameEnd, 2*sps); ok {
-		st.RSSIdBFS = rssi
-		st.NoisedBFS = noise
-		st.SNRdB = snr
-		st.SNRValid = true
-	} else {
-		st.RSSIdBFS = rssi
-	}
-
-	reg.Histogram("wazabee_worst_chip_distance", obs.DistanceBuckets, "decoder", "wazabee").
-		Observe(float64(dem.WorstChipDistance))
-	if r.MaxChipDistance > 0 && dem.WorstChipDistance > r.MaxChipDistance {
-		st.Gated = true
-		reg.Counter("wazabee_quality_gate_drops_total", "decoder", "wazabee").Inc()
-		return nil, st, fmt.Errorf("core: worst chip distance %d exceeds gate %d: %w",
-			dem.WorstChipDistance, r.MaxChipDistance, ieee802154.ErrNoSync)
-	}
-	dem.SyncErrors = cap.PatternErrors
-	dem.SampleOffset = cap.SampleOffset
-	dem.CFOBias = cap.CFOBias
-	dem.SyncCorr = cap.SyncScore
-
-	st.Decoded = true
-	st.FCSOK = bitstream.CheckFCS(dem.PPDU.PSDU)
-	dem.Link = st
-
-	reg.Counter("wazabee_frames_received_total", "decoder", "wazabee").Inc()
-	result := "pass"
-	if !st.FCSOK {
-		result = "fail"
-	}
-	reg.Counter("wazabee_crc_checks_total", "decoder", "wazabee", "result", result).Inc()
-	return dem, st, nil
+	return r.stream.Flush()
 }
 
 // PHY exposes the underlying BLE modem.

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wazabee/internal/bitstream"
+	"wazabee/internal/ble"
+	"wazabee/internal/dsp"
+	"wazabee/internal/dsp/stream"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
+	"wazabee/internal/obs/link"
+)
+
+// RxStream is the streaming form of the WazaBee receiver: the same
+// GFSK-discriminate → Access-Address-correlate → despread chain as
+// Receiver.Receive, re-expressed as composed pipeline stages that are
+// fed IQ chunks of arbitrary size. All carry-over state — the boundary
+// sample of the discriminator, partial symbol windows and candidate
+// scans of the correlator, the despreader's cursor — lives inside the
+// stages, so any chunking of a capture drives the exact same
+// floating-point operations in the exact same order as the one-shot
+// path.
+//
+// Lifecycle: Push every chunk of a capture, then Flush at the capture
+// boundary. Flush concludes the attempt — the frame span's SNR is
+// measured against the noise floor of the *whole* capture, including
+// the tail after the frame, so the final verdict (decoded frame, link
+// stats, or the one-shot error chain, byte-identical to ReceiveStats)
+// can only be rendered once the capture ends. Push itself returns any
+// frame whose despreading completed during that chunk, as soon as the
+// PSDU bytes are final; its Link field is attached later, by the Flush
+// that finalizes the attempt.
+//
+// Push performs no heap allocation in the steady state (after buffer
+// warm-up, while no frame is being emitted); Flush allocates its
+// result records exactly like the one-shot receiver.
+//
+// An RxStream is not goroutine-safe: run one per channel.
+type RxStream struct {
+	r     *Receiver
+	reg   *obs.Registry
+	trace *obs.Trace
+	pool  *stream.BufferPool
+
+	pattern []byte
+	sps     int
+	// nominal is the per-symbol phase magnitude π·ModulationIndex.
+	nominal float64
+
+	disc stream.Discriminator
+	corr *stream.Correlator
+	desp *ieee802154.TransitionDespreader
+
+	// Retained capture since the last Flush: link.Measure needs the raw
+	// samples around the frame span for the RSSI/noise-floor estimate.
+	iq       dsp.IQ
+	powerSum float64
+	incs     []float64 // per-Push discriminator scratch
+
+	// Synchronisation lock. The lock tracks the correlator's current
+	// cross-phase winner and is re-acquired whenever a later chunk
+	// reveals a better candidate — until a frame completes, which
+	// freezes the lock (committed).
+	locked    bool
+	committed bool
+	gated     bool
+	lock      stream.Candidate
+	bias      float64
+	sliced    []byte // CFO-corrected hard decisions from the lock position
+	despErr   error
+	dem       *ieee802154.Demodulated
+
+	// Pre-resolved stage-duration series so per-Push instrumentation
+	// does not touch the registry's variadic lookup path (which
+	// allocates a label set per call).
+	stageCorr *obs.Histogram
+	stageDesp *obs.Histogram
+	// Pre-resolved stream-throughput counters (§7 catalogue:
+	// wazabee_stream_*).
+	pushes  *obs.Counter
+	samples *obs.Counter
+}
+
+// Stream builds a fresh streaming receiver sharing this Receiver's
+// configuration (PHY, pattern-error budget, chip-distance gate,
+// registry and trace, snapshotted at creation).
+func (r *Receiver) Stream() *RxStream {
+	reg := obs.Or(r.Obs)
+	pool := stream.Shared()
+	pattern := AccessPattern()
+	sps := r.phy.SamplesPerSymbol
+	return &RxStream{
+		r:         r,
+		reg:       reg,
+		trace:     r.Trace,
+		pool:      pool,
+		pattern:   pattern,
+		sps:       sps,
+		nominal:   math.Pi * r.phy.ModulationIndex,
+		corr:      stream.NewCorrelator(pool, pattern, r.MaxPatternErrors, sps),
+		desp:      ieee802154.NewTransitionDespreader(),
+		iq:        pool.IQ(4096),
+		incs:      pool.F64(4096),
+		sliced:    pool.Bits(1024),
+		stageCorr: reg.Histogram(obs.StageSecondsMetric, obs.DurationBuckets, "stage", "aa-correlate"),
+		stageDesp: reg.Histogram(obs.StageSecondsMetric, obs.DurationBuckets, "stage", "despread"),
+		pushes:    reg.Counter("wazabee_stream_pushes_total", "decoder", "wazabee"),
+		samples:   reg.Counter("wazabee_stream_samples_total", "decoder", "wazabee"),
+	}
+}
+
+// Push feeds one IQ chunk through the discriminator and correlator
+// stages and advances the despreader. It returns the frames whose
+// despreading completed during this chunk (PSDU bytes and chip-quality
+// evidence final; Link stats attached by the finalizing Flush), or nil.
+func (s *RxStream) Push(chunk dsp.IQ) []*ieee802154.Demodulated {
+	if len(chunk) == 0 {
+		return nil
+	}
+	s.pushes.Inc()
+	s.samples.Add(uint64(len(chunk)))
+
+	// Per-stage timing goes through the pre-resolved histograms (and
+	// optional trace spans) inline — no closures, so the hot path stays
+	// allocation-free.
+	var span *obs.Span
+	if s.trace != nil {
+		span = s.trace.Start("aa-correlate")
+	}
+	start := time.Now()
+	s.iq = append(s.iq, chunk...)
+	for _, v := range chunk {
+		re, im := real(v), imag(v)
+		s.powerSum += re*re + im*im
+	}
+	s.incs = s.disc.Process(chunk, s.incs[:0])
+	s.corr.Process(s.incs)
+	if span != nil {
+		span.End()
+	}
+	s.stageCorr.Observe(time.Since(start).Seconds())
+
+	if s.trace != nil {
+		span = s.trace.Start("despread")
+	}
+	start = time.Now()
+	out := s.advance()
+	if span != nil {
+		span.End()
+	}
+	s.stageDesp.Observe(time.Since(start).Seconds())
+	return out
+}
+
+// advance re-evaluates the synchronisation lock against the
+// correlator's current winner, extends the CFO-corrected bit stream and
+// feeds the despreader. A completed frame freezes the lock and, if it
+// passes the chip-distance gate, is returned for emission.
+func (s *RxStream) advance() []*ieee802154.Demodulated {
+	if s.committed {
+		return nil
+	}
+	best, ok := s.corr.Best()
+	if !ok {
+		return nil
+	}
+	if !s.locked || best.Phase != s.lock.Phase || best.Pos != s.lock.Pos {
+		s.relock(best)
+	} else {
+		// Same window; the hard error count never changes for a fixed
+		// position, but keep the candidate fresh regardless.
+		s.lock = best
+	}
+	if s.despErr != nil {
+		// Permanent despread failure under this lock; only a better
+		// candidate (handled above) can restart the decode.
+		return nil
+	}
+
+	// Extend the sliced bit stream over the newly completed symbol
+	// windows: the same sums[pos+i]−bias > 0 decision the one-shot
+	// receiver applies after CFO correction.
+	sums := s.corr.Sums(s.lock.Phase)
+	for n := s.lock.Pos + len(s.sliced); n < len(sums); n++ {
+		if sums[n]-s.bias > 0 {
+			s.sliced = append(s.sliced, 1)
+		} else {
+			s.sliced = append(s.sliced, 0)
+		}
+	}
+
+	dem, done, err := s.desp.Feed(s.sliced)
+	if err != nil {
+		s.despErr = err
+		return nil
+	}
+	if !done {
+		return nil
+	}
+
+	// Frame complete: freeze the lock and apply the quality gate (it
+	// depends only on despreading evidence, not on the capture tail).
+	s.committed = true
+	s.dem = dem
+	if s.r.MaxChipDistance > 0 && dem.WorstChipDistance > s.r.MaxChipDistance {
+		s.gated = true
+		return nil
+	}
+	dem.SyncErrors = s.lock.Errors
+	dem.SampleOffset = s.lock.Phase
+	dem.CFOBias = s.bias
+	dem.SyncCorr = s.lock.Score / (float64(len(s.pattern)) * s.nominal)
+	return []*ieee802154.Demodulated{dem}
+}
+
+// relock acquires (or moves) the synchronisation lock onto a candidate:
+// it estimates the CFO bias over the pattern window — fully available
+// the moment the candidate qualifies — resets the despreader and drops
+// the sliced bits so they are re-derived under the new bias.
+func (s *RxStream) relock(best stream.Candidate) {
+	s.locked = true
+	s.lock = best
+	sums := s.corr.Sums(best.Phase)
+	var bias float64
+	for i, want := range s.pattern {
+		expected := s.nominal
+		if want == 0 {
+			expected = -expected
+		}
+		bias += sums[best.Pos+i] - expected
+	}
+	bias /= float64(len(s.pattern))
+	s.bias = bias
+	s.sliced = s.sliced[:0]
+	s.desp.Reset()
+	s.despErr = nil
+}
+
+// Flush concludes the receive attempt at a capture boundary and resets
+// the stream for the next capture. The returned frame, link stats and
+// error are byte-identical to what Receiver.ReceiveStats reports for
+// the concatenation of every chunk pushed since the previous Flush —
+// including the error chains (errors.Is(err, ieee802154.ErrNoSync) for
+// every "not received" outcome) and every metric the one-shot path
+// feeds the registry.
+func (s *RxStream) Flush() (*ieee802154.Demodulated, *link.Stats, error) {
+	reg := s.reg
+	var power float64
+	if len(s.iq) > 0 {
+		power = s.powerSum / float64(len(s.iq))
+	}
+	st := &link.Stats{RSSIdBFS: 10 * math.Log10(power+1e-12)}
+	defer func() {
+		st.Finalize()
+		link.Observe(reg, st, "decoder", "wazabee")
+		s.reset()
+	}()
+
+	// The one-shot demodulator refuses captures without room for the
+	// pattern plus slack before even correlating; reproduce that bound
+	// so short-capture verdicts agree.
+	if len(s.iq) < (len(s.pattern)+2)*s.sps || !s.locked {
+		reg.Counter("wazabee_sync_failures_total", "decoder", "wazabee").Inc()
+		return nil, st, fmt.Errorf("core: access address correlation: %w: %w", ieee802154.ErrNoSync, ble.ErrNoAccessAddress)
+	}
+
+	st.Synced = true
+	st.SyncErrors = s.lock.Errors
+	st.SyncCorr = s.lock.Score / (float64(len(s.pattern)) * s.nominal)
+	st.CFOHz = link.CFOFromBias(s.bias, ieee802154.ChipRate)
+	reg.Histogram("wazabee_aa_pattern_errors", obs.LinearBuckets(0, 1, 9), "decoder", "wazabee").
+		Observe(float64(s.lock.Errors))
+
+	if !s.committed {
+		// Permanent mid-frame abort, or the capture ended before the
+		// frame completed — the truncation the one-shot decoder reports
+		// as ErrNoSync.
+		err := s.desp.Conclude()
+		if s.despErr != nil {
+			err = s.despErr
+		}
+		reg.Counter("wazabee_despread_failures_total", "decoder", "wazabee").Inc()
+		return nil, st, fmt.Errorf("core: despread after sync: %w", err)
+	}
+
+	dem := s.dem
+	st.WorstChipDistance = dem.WorstChipDistance
+	st.ChipErrors = dem.TotalChipDistance
+	st.ChipsCompared = dem.SymbolCount * (ieee802154.ChipsPerSymbol - 1)
+	st.DistHist = dem.ChipDistHist
+
+	frameStart := s.lock.Phase + s.lock.Pos*s.sps
+	frameEnd := frameStart + dem.TransitionSpan*s.sps
+	if rssi, noise, snr, ok := link.Measure(s.iq, frameStart, frameEnd, 2*s.sps); ok {
+		st.RSSIdBFS = rssi
+		st.NoisedBFS = noise
+		st.SNRdB = snr
+		st.SNRValid = true
+	} else {
+		st.RSSIdBFS = rssi
+	}
+
+	reg.Histogram("wazabee_worst_chip_distance", obs.DistanceBuckets, "decoder", "wazabee").
+		Observe(float64(dem.WorstChipDistance))
+	if s.gated {
+		st.Gated = true
+		reg.Counter("wazabee_quality_gate_drops_total", "decoder", "wazabee").Inc()
+		return nil, st, fmt.Errorf("core: worst chip distance %d exceeds gate %d: %w",
+			dem.WorstChipDistance, s.r.MaxChipDistance, ieee802154.ErrNoSync)
+	}
+
+	st.Decoded = true
+	st.FCSOK = bitstream.CheckFCS(dem.PPDU.PSDU)
+	dem.Link = st
+
+	reg.Counter("wazabee_frames_received_total", "decoder", "wazabee").Inc()
+	result := "pass"
+	if !st.FCSOK {
+		result = "fail"
+	}
+	reg.Counter("wazabee_crc_checks_total", "decoder", "wazabee", "result", result).Inc()
+	return dem, st, nil
+}
+
+// reset rewinds every stage and drops the retained capture, keeping
+// buffer capacity so the next capture runs allocation-free.
+func (s *RxStream) reset() {
+	s.disc.Reset()
+	s.corr.Reset()
+	s.desp.Reset()
+	s.iq = s.iq[:0]
+	s.powerSum = 0
+	s.locked, s.committed, s.gated = false, false, false
+	s.lock = stream.Candidate{}
+	s.bias = 0
+	s.sliced = s.sliced[:0]
+	s.despErr = nil
+	s.dem = nil
+}
+
+// Pending reports how many samples the stream has retained since the
+// last Flush — the memory bound a continuous caller manages by flushing
+// at capture boundaries.
+func (s *RxStream) Pending() int { return len(s.iq) }
+
+// Close returns the stream's pooled buffers. The stream must not be
+// used afterwards; any un-flushed state is discarded.
+func (s *RxStream) Close() {
+	s.corr.Close()
+	s.pool.PutIQ(s.iq)
+	s.pool.PutF64(s.incs)
+	s.pool.PutBits(s.sliced)
+	s.iq, s.incs, s.sliced = nil, nil, nil
+}

@@ -16,11 +16,26 @@ func Discriminate(s IQ) []float64 {
 	if len(s) < 2 {
 		return nil
 	}
-	out := make([]float64, len(s)-1)
+	return DiscriminateInto(make([]float64, 0, len(s)-1), s)
+}
+
+// DiscriminateInto appends the phase increments of s to dst and returns
+// the extended slice, reusing dst's capacity. It is the allocation-free
+// form of Discriminate for pooled buffers and streaming chunks.
+func DiscriminateInto(dst []float64, s IQ) []float64 {
 	for i := 0; i+1 < len(s); i++ {
-		out[i] = cmplx.Phase(s[i+1] * cmplx.Conj(s[i]))
+		dst = append(dst, cmplx.Phase(s[i+1]*cmplx.Conj(s[i])))
 	}
-	return out
+	return dst
+}
+
+// DiscriminateAcross appends the phase increment across a chunk
+// boundary — from carry (the last sample of the previous chunk) into
+// next (the first sample of the new chunk) — producing exactly the
+// value Discriminate would have computed at that position over the
+// joined buffer.
+func DiscriminateAcross(dst []float64, carry, next complex128) []float64 {
+	return append(dst, cmplx.Phase(next*cmplx.Conj(carry)))
 }
 
 // IntegrateSymbols sums phase increments over consecutive windows of sps
@@ -31,29 +46,45 @@ func IntegrateSymbols(increments []float64, offset, sps int) []float64 {
 		return nil
 	}
 	n := (len(increments) - offset) / sps
-	out := make([]float64, 0, n)
+	return IntegrateSymbolsInto(make([]float64, 0, n), increments, offset, sps)
+}
+
+// IntegrateSymbolsInto is the appending, allocation-free form of
+// IntegrateSymbols: it sums complete sps-sample windows of increments
+// starting at offset and appends one value per window to dst.
+func IntegrateSymbolsInto(dst []float64, increments []float64, offset, sps int) []float64 {
+	if sps < 1 || offset < 0 || offset >= len(increments) {
+		return dst
+	}
+	n := (len(increments) - offset) / sps
 	for k := 0; k < n; k++ {
 		var sum float64
 		base := offset + k*sps
 		for i := 0; i < sps; i++ {
 			sum += increments[base+i]
 		}
-		out = append(out, sum)
+		dst = append(dst, sum)
 	}
-	return out
+	return dst
 }
 
 // SliceBits converts accumulated per-symbol phase changes into hard bit
 // decisions: positive rotation (counter-clockwise) decodes as 1, negative as
 // 0, matching the FSK convention in the paper.
 func SliceBits(phases []float64) []byte {
-	bits := make([]byte, len(phases))
-	for i, p := range phases {
+	return SliceBitsInto(make([]byte, 0, len(phases)), phases)
+}
+
+// SliceBitsInto is the appending, allocation-free form of SliceBits.
+func SliceBitsInto(dst []byte, phases []float64) []byte {
+	for _, p := range phases {
 		if p > 0 {
-			bits[i] = 1
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
 		}
 	}
-	return bits
+	return dst
 }
 
 // MeanFrequency estimates the average phase increment per sample, used for

@@ -34,12 +34,24 @@ func NoiseFloor(n int, power float64, rnd *rand.Rand) (IQ, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("dsp: negative sample count %d", n)
 	}
-	sigma := math.Sqrt(power / 2)
-	out := make(IQ, n)
-	for i := range out {
-		out[i] = complex(rnd.NormFloat64()*sigma, rnd.NormFloat64()*sigma)
+	return NoiseFloorInto(make(IQ, 0, n), n, power, rnd)
+}
+
+// NoiseFloorInto appends n pure-noise samples with the given total noise
+// power to dst, reusing dst's capacity — the pooled-buffer form of
+// NoiseFloor.
+func NoiseFloorInto(dst IQ, n int, power float64, rnd *rand.Rand) (IQ, error) {
+	if rnd == nil {
+		return nil, fmt.Errorf("dsp: nil random source")
 	}
-	return out, nil
+	if n < 0 {
+		return nil, fmt.Errorf("dsp: negative sample count %d", n)
+	}
+	sigma := math.Sqrt(power / 2)
+	for i := 0; i < n; i++ {
+		dst = append(dst, complex(rnd.NormFloat64()*sigma, rnd.NormFloat64()*sigma))
+	}
+	return dst, nil
 }
 
 // BurstNoise overlays band-limited-style noise bursts onto the signal in

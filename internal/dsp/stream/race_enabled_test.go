@@ -1,0 +1,8 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// intentionally drops Puts at random under -race, so deterministic
+// reuse/allocation assertions must be skipped.
+const raceEnabled = true

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"wazabee/internal/dsp"
+)
+
+// Stage is the common surface of every streaming pipeline stage. A
+// stage consumes chunked slabs through its type-specific Process
+// method, carries whatever state it needs across chunk boundaries, and
+// can be rewound to its initial state with Reset so pipelines are
+// reusable without reallocating.
+//
+// Stages are deliberately not goroutine-safe: one pipeline instance
+// serves one stream. Run one pipeline per channel for concurrency.
+type Stage interface {
+	// Name identifies the stage in metrics and traces (the stage label
+	// of wazabee_stage_seconds).
+	Name() string
+	// Reset discards all carry-over state, keeping allocated capacity.
+	Reset()
+}
+
+// Discriminator is the streaming GFSK quadrature discriminator stage:
+// it converts chunked IQ slabs into phase increments, carrying the last
+// sample of each chunk so the increment across a chunk boundary is
+// computed exactly as if the capture had been discriminated whole.
+type Discriminator struct {
+	carry  complex128
+	primed bool
+}
+
+// Name implements Stage.
+func (d *Discriminator) Name() string { return "discriminate" }
+
+// Reset implements Stage.
+func (d *Discriminator) Reset() { d.primed = false }
+
+// Process appends the phase increments of chunk to out and returns the
+// extended slice. For a stream split into chunks c₀, c₁, …, the
+// concatenated output equals dsp.Discriminate(c₀‖c₁‖…) exactly,
+// boundary increments included.
+func (d *Discriminator) Process(chunk dsp.IQ, out []float64) []float64 {
+	if len(chunk) == 0 {
+		return out
+	}
+	if d.primed {
+		out = dsp.DiscriminateAcross(out, d.carry, chunk[0])
+	}
+	out = dsp.DiscriminateInto(out, chunk)
+	d.carry = chunk[len(chunk)-1]
+	d.primed = true
+	return out
+}

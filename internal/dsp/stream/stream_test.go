@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"wazabee/internal/dsp"
+)
+
+// randomIQ builds a deterministic complex noise buffer.
+func randomIQ(seed int64, n int) dsp.IQ {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make(dsp.IQ, n)
+	for i := range out {
+		out[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+	}
+	return out
+}
+
+func TestBufferPoolReuseAndStats(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	var p BufferPool
+
+	iq := p.IQ(64)
+	if len(iq) != 0 || cap(iq) < 64 {
+		t.Fatalf("IQ slab len=%d cap=%d, want 0/≥64", len(iq), cap(iq))
+	}
+	p.PutIQ(iq)
+	iq2 := p.IQ(32)
+	if cap(iq2) < 64 {
+		t.Errorf("recycled IQ slab cap=%d, want the returned slab (cap ≥ 64)", cap(iq2))
+	}
+
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// An undersized recycled slab must be dropped, counting a miss.
+	p.PutF64(p.F64(16))
+	big := p.F64(1 << 16)
+	if cap(big) < 1<<16 {
+		t.Fatalf("F64 slab cap=%d, want ≥ %d", cap(big), 1<<16)
+	}
+	st = p.Stats()
+	if st.Misses != 3 { // IQ(64), F64(16), F64(1<<16)
+		t.Errorf("misses = %d, want 3", st.Misses)
+	}
+
+	// Bits round trip.
+	b := p.Bits(8)
+	b = append(b, 1, 0, 1)
+	p.PutBits(b)
+	b2 := p.Bits(4)
+	if len(b2) != 0 {
+		t.Errorf("recycled bit slab len=%d, want 0", len(b2))
+	}
+
+	if Shared() == nil || Or(nil) != Shared() || Or(&p) != &p {
+		t.Error("Shared/Or wiring broken")
+	}
+}
+
+func TestBufferPoolAllocsPerRun(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	var p BufferPool
+	p.PutF64(p.F64(4096))
+	p.PutIQ(p.IQ(4096))
+	allocs := testing.AllocsPerRun(200, func() {
+		f := p.F64(4096)
+		p.PutF64(f)
+		iq := p.IQ(4096)
+		p.PutIQ(iq)
+	})
+	if allocs != 0 {
+		t.Errorf("pool get/put allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestDiscriminatorChunked: any chunking of a capture must produce the
+// exact increments of the one-shot discriminator, including the values
+// at chunk boundaries.
+func TestDiscriminatorChunked(t *testing.T) {
+	sig := randomIQ(1, 1024)
+	want := dsp.Discriminate(sig)
+
+	for _, chunk := range []int{1, 2, 3, 7, 16, 255, 1024} {
+		var d Discriminator
+		var got []float64
+		for start := 0; start < len(sig); start += chunk {
+			end := start + chunk
+			if end > len(sig) {
+				end = len(sig)
+			}
+			got = d.Process(sig[start:end], got)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d increments, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d: increment %d = %v, want %v (not bit-identical)", chunk, i, got[i], want[i])
+			}
+		}
+		if d.Name() != "discriminate" {
+			t.Fatal("wrong stage name")
+		}
+	}
+}
+
+// TestCorrelatorMatchesFindPattern: the streaming correlator must make
+// the exact candidate decision of the one-shot IntegrateSymbols →
+// SliceBits → FindPattern → SoftScore chain, for any chunking.
+func TestCorrelatorMatchesFindPattern(t *testing.T) {
+	const sps = 4
+	const maxErrors = 3
+	pattern := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1}
+
+	// A signal whose increments embed the pattern: random phase noise
+	// with a strong patterned segment in the middle.
+	rnd := rand.New(rand.NewSource(7))
+	incs := make([]float64, 2048)
+	for i := range incs {
+		incs[i] = rnd.NormFloat64() * 0.2
+	}
+	at := 600
+	for i, b := range pattern {
+		v := 0.4
+		if b == 0 {
+			v = -0.4
+		}
+		for j := 0; j < sps; j++ {
+			incs[at+i*sps+j] = v
+		}
+	}
+
+	// One-shot reference decision.
+	wantPhase, wantPos, wantErrs := -1, 0, 0
+	var wantScore float64
+	for phase := 0; phase < sps; phase++ {
+		sums := dsp.IntegrateSymbols(incs, phase, sps)
+		bits := dsp.SliceBits(sums)
+		pos, errs, ok := dsp.FindPattern(bits, pattern, maxErrors)
+		if !ok {
+			continue
+		}
+		score, ok := dsp.SoftScore(sums, pattern, pos)
+		if !ok {
+			continue
+		}
+		if wantPhase < 0 || score > wantScore {
+			wantPhase, wantPos, wantErrs, wantScore = phase, pos, errs, score
+		}
+	}
+	if wantPhase < 0 {
+		t.Fatal("reference correlator found no candidate; test signal broken")
+	}
+
+	for _, chunk := range []int{1, 3, 5, 32, 500, len(incs)} {
+		c := NewCorrelator(nil, pattern, maxErrors, sps)
+		for start := 0; start < len(incs); start += chunk {
+			end := start + chunk
+			if end > len(incs) {
+				end = len(incs)
+			}
+			c.Process(incs[start:end])
+		}
+		got, ok := c.Best()
+		if !ok {
+			t.Fatalf("chunk=%d: no candidate", chunk)
+		}
+		if got.Phase != wantPhase || got.Pos != wantPos || got.Errors != wantErrs || got.Score != wantScore {
+			t.Errorf("chunk=%d: candidate %+v, want phase=%d pos=%d errs=%d score=%v",
+				chunk, got, wantPhase, wantPos, wantErrs, wantScore)
+		}
+		// The retained symbol sums must be bit-identical to the one-shot
+		// integration at the winning phase.
+		wantSums := dsp.IntegrateSymbols(incs, wantPhase, sps)
+		gotSums := c.Sums(wantPhase)
+		if len(gotSums) != len(wantSums) {
+			t.Fatalf("chunk=%d: %d sums, want %d", chunk, len(gotSums), len(wantSums))
+		}
+		for i := range gotSums {
+			if gotSums[i] != wantSums[i] {
+				t.Fatalf("chunk=%d: sum %d differs (not bit-identical)", chunk, i)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestCorrelatorCompact: dropping a consumed prefix must re-anchor the
+// scan so a later pattern is still found at its new offset.
+func TestCorrelatorCompact(t *testing.T) {
+	const sps = 2
+	pattern := []byte{1, 1, 0, 1, 0, 0, 1, 1}
+	mk := func(b byte) float64 {
+		if b == 1 {
+			return 0.5
+		}
+		return -0.5
+	}
+	var incs []float64
+	emit := func(bits ...byte) {
+		for _, b := range bits {
+			for j := 0; j < sps; j++ {
+				incs = append(incs, mk(b))
+			}
+		}
+	}
+	emit(0, 1, 0) // filler
+	emit(pattern...)
+	c := NewCorrelator(nil, pattern, 0, sps)
+	defer c.Close()
+	c.Process(incs)
+	best, ok := c.Best()
+	if !ok || best.Pos != 3 {
+		t.Fatalf("pre-compact candidate %+v ok=%v, want pos 3", best, ok)
+	}
+
+	c.Compact(c.Len())
+	if _, ok := c.Best(); ok {
+		t.Fatal("candidate survived a full compact")
+	}
+	incs = incs[:0]
+	emit(1, 0)
+	emit(pattern...)
+	c.Process(incs)
+	best, ok = c.Best()
+	if !ok || best.Pos != 2 {
+		t.Fatalf("post-compact candidate %+v ok=%v, want pos 2", best, ok)
+	}
+}

@@ -42,6 +42,10 @@ type PHY struct {
 
 	// Trace, when non-nil, records demod/despread spans per capture.
 	Trace *obs.Trace
+
+	// pulse caches the half-sine chip pulse at SamplesPerChip so the
+	// modulator does not recompute (and reallocate) it per frame.
+	pulse []float64
 }
 
 // NewPHY returns a PHY with the given oversampling factor.
@@ -49,7 +53,11 @@ func NewPHY(samplesPerChip int) (*PHY, error) {
 	if samplesPerChip < 2 {
 		return nil, fmt.Errorf("ieee802154: samples per chip %d < 2", samplesPerChip)
 	}
-	return &PHY{SamplesPerChip: samplesPerChip, MaxSyncErrors: 6, MaxChipDistance: 15}, nil
+	pulse, err := dsp.HalfSinePulse(samplesPerChip)
+	if err != nil {
+		return nil, err
+	}
+	return &PHY{SamplesPerChip: samplesPerChip, MaxSyncErrors: 6, MaxChipDistance: 15, pulse: pulse}, nil
 }
 
 // ModulateChips produces the O-QPSK half-sine complex baseband waveform of
@@ -61,9 +69,15 @@ func (p *PHY) ModulateChips(chips bitstream.Bits) (dsp.IQ, error) {
 		return nil, fmt.Errorf("ieee802154: empty chip stream")
 	}
 	sps := p.SamplesPerChip
-	pulse, err := dsp.HalfSinePulse(sps)
-	if err != nil {
-		return nil, err
+	pulse := p.pulse
+	if pulse == nil {
+		// Zero-value PHY (no NewPHY): compute once and cache.
+		var err error
+		pulse, err = dsp.HalfSinePulse(sps)
+		if err != nil {
+			return nil, err
+		}
+		p.pulse = pulse
 	}
 	out := make(dsp.IQ, (len(chips)+1)*sps)
 	for k, c := range chips {

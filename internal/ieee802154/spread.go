@@ -10,12 +10,18 @@ import (
 // octet is split into two 4-bit symbols (least significant nibble first)
 // and every symbol is substituted by its 32-chip PN sequence.
 func Spread(data []byte) bitstream.Bits {
-	chips := make(bitstream.Bits, 0, len(data)*SymbolsPerByte*ChipsPerSymbol)
+	return AppendSpread(make(bitstream.Bits, 0, len(data)*SymbolsPerByte*ChipsPerSymbol), data)
+}
+
+// AppendSpread appends the DSSS chip expansion of data to dst and
+// returns the extended slice — the allocation-free form of Spread for
+// pooled transmit scratch buffers.
+func AppendSpread(dst bitstream.Bits, data []byte) bitstream.Bits {
 	for _, b := range data {
-		chips = append(chips, pnTable[b&0x0f]...)
-		chips = append(chips, pnTable[b>>4]...)
+		dst = append(dst, pnTable[b&0x0f]...)
+		dst = append(dst, pnTable[b>>4]...)
 	}
-	return chips
+	return dst
 }
 
 // SpreadSymbols expands a symbol sequence (values 0..15) into chips.

@@ -1,0 +1,168 @@
+package ieee802154
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wazabee/internal/bitstream"
+)
+
+// frameTransitions builds the MSK transition stream of a spread PPDU —
+// the bit stream a synchronised receiver hands the despreader.
+func frameTransitions(t *testing.T, psdu []byte) bitstream.Bits {
+	t.Helper()
+	ppdu, err := NewPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ChipTransitions(Spread(ppdu.Bytes()))
+}
+
+// feedInChunks drives a TransitionDespreader with growing prefixes of
+// bits, cut at the given split points, and returns its final verdict.
+func feedInChunks(d *TransitionDespreader, bits bitstream.Bits, chunk int) (*Demodulated, error) {
+	for end := chunk; ; end += chunk {
+		if end > len(bits) {
+			end = len(bits)
+		}
+		dem, done, err := d.Feed(bits[:end])
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return dem, nil
+		}
+		if end == len(bits) {
+			return nil, d.Conclude()
+		}
+	}
+}
+
+// TestTransitionDespreaderMatchesOneShot: for every feed granularity,
+// the streaming despreader must produce the identical Demodulated (or
+// identical error) as DecodePPDUFromTransitions.
+func TestTransitionDespreaderMatchesOneShot(t *testing.T) {
+	psdu := []byte{0x41, 0x88, 0x2a, 0x34, 0x12, 0xff, 0x0f, 0x42, 0x99}
+	bits := frameTransitions(t, psdu)
+
+	want, wantErr := DecodePPDUFromTransitions(bits, 0)
+	if wantErr != nil {
+		t.Fatal(wantErr)
+	}
+
+	for _, chunk := range []int{1, 7, 30, 31, 32, 63, 500, len(bits)} {
+		d := NewTransitionDespreader()
+		got, err := feedInChunks(d, bits, chunk)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !bytes.Equal(got.PPDU.PSDU, want.PPDU.PSDU) {
+			t.Fatalf("chunk=%d: PSDU % x, want % x", chunk, got.PPDU.PSDU, want.PPDU.PSDU)
+		}
+		if got.WorstChipDistance != want.WorstChipDistance ||
+			got.TotalChipDistance != want.TotalChipDistance ||
+			got.SymbolCount != want.SymbolCount ||
+			got.ChipDistHist != want.ChipDistHist ||
+			got.TransitionSpan != want.TransitionSpan {
+			t.Fatalf("chunk=%d: evidence %+v, want %+v", chunk, got, want)
+		}
+	}
+}
+
+// TestTransitionDespreaderCorruptedParity: with chip errors injected,
+// the streaming and one-shot decoders must still agree — including the
+// per-symbol distance histogram.
+func TestTransitionDespreaderCorruptedParity(t *testing.T) {
+	psdu := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	base := frameTransitions(t, psdu)
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		bits := bitstream.Clone(base)
+		for i := 0; i < 12; i++ {
+			bits[rnd.Intn(len(bits))] ^= 1
+		}
+		want, wantErr := DecodePPDUFromTransitions(bits, 0)
+
+		d := NewTransitionDespreader()
+		got, err := feedInChunks(d, bits, 1+rnd.Intn(97))
+
+		if (wantErr == nil) != (err == nil) {
+			t.Fatalf("trial %d: streaming err %v, one-shot err %v", trial, err, wantErr)
+		}
+		if wantErr != nil {
+			if err.Error() != wantErr.Error() {
+				t.Fatalf("trial %d: error %q, want %q", trial, err, wantErr)
+			}
+			continue
+		}
+		if !bytes.Equal(got.PPDU.PSDU, want.PPDU.PSDU) || got.ChipDistHist != want.ChipDistHist ||
+			got.WorstChipDistance != want.WorstChipDistance || got.TransitionSpan != want.TransitionSpan {
+			t.Fatalf("trial %d: streaming %+v, one-shot %+v", trial, got, want)
+		}
+	}
+}
+
+// TestTransitionDespreaderTruncation: a stream that ends mid-frame must
+// conclude with the one-shot decoder's truncation verdict (ErrNoSync),
+// and a stream with no SFD must abort permanently.
+func TestTransitionDespreaderTruncation(t *testing.T) {
+	psdu := []byte{1, 2, 3, 4}
+	bits := frameTransitions(t, psdu)
+
+	truncated := bits[:len(bits)/2]
+	wantDem, wantErr := DecodePPDUFromTransitions(truncated, 0)
+	if wantErr == nil || wantDem != nil {
+		t.Fatal("truncated reference decode unexpectedly succeeded")
+	}
+	d := NewTransitionDespreader()
+	if dem, err := feedInChunks(d, truncated, 13); err == nil || dem != nil {
+		t.Fatal("truncated streaming decode unexpectedly succeeded")
+	} else if err.Error() != wantErr.Error() {
+		t.Fatalf("truncation error %q, want %q", err, wantErr)
+	}
+
+	// All-zero transitions: the SFD never appears inside the preamble
+	// window — the permanent abort must match one-shot and persist.
+	junk := make(bitstream.Bits, 4096)
+	_, wantErr = DecodePPDUFromTransitions(junk, 0)
+	if wantErr == nil {
+		t.Fatal("reference decode of zero transitions succeeded")
+	}
+	d = NewTransitionDespreader()
+	_, err := feedInChunks(d, junk, 64)
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("no-SFD error %q, want %q", err, wantErr)
+	}
+	if !errors.Is(err, ErrNoSync) {
+		t.Errorf("no-SFD error %v does not wrap ErrNoSync", err)
+	}
+	if _, _, ferr := d.Feed(junk); ferr == nil {
+		t.Error("despreader recovered from a permanent abort without Reset")
+	}
+
+	// Reset must make it decode again.
+	d.Reset()
+	if dem, err := feedInChunks(d, bits, 1000); err != nil || dem == nil {
+		t.Fatalf("decode after Reset failed: %v", err)
+	}
+}
+
+// TestAppendSpread: the pooled appending form must produce exactly the
+// chips of Spread, appended after the existing prefix.
+func TestAppendSpread(t *testing.T) {
+	data := []byte{0x00, 0xa7, 0x5b, 0xff}
+	want := Spread(data)
+	prefix := bitstream.Bits{1, 0, 1}
+	got := AppendSpread(bitstream.Clone(prefix), data)
+	if len(got) != len(prefix)+len(want) {
+		t.Fatalf("AppendSpread length %d, want %d", len(got), len(prefix)+len(want))
+	}
+	if got[:3].String() != prefix.String() {
+		t.Error("AppendSpread clobbered the prefix")
+	}
+	if got[3:].String() != want.String() {
+		t.Error("AppendSpread chips differ from Spread")
+	}
+}

@@ -140,6 +140,36 @@ func (m *Medium) Deliver(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (d
 	return out, nil
 }
 
+// DeliverChunks is the chunked delivery mode of the streaming pipeline:
+// it propagates a burst exactly like Deliver, then hands the resulting
+// receiver-side capture to fn in consecutive slabs of at most chunk
+// samples instead of one whole buffer. The slabs alias the delivered
+// capture, so fn must not retain them past its return (a streaming
+// receiver copies what it carries over — see internal/dsp/stream's
+// ownership contract). fn's first error aborts the walk and is returned.
+func (m *Medium) DeliverChunks(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link, chunk int, fn func(dsp.IQ) error) error {
+	if chunk <= 0 {
+		return fmt.Errorf("radio: chunk size %d <= 0", chunk)
+	}
+	if fn == nil {
+		return fmt.Errorf("radio: nil chunk callback")
+	}
+	out, err := m.Deliver(sig, txFreqMHz, rxFreqMHz, link)
+	if err != nil {
+		return err
+	}
+	for start := 0; start < len(out); start += chunk {
+		end := start + chunk
+		if end > len(out) {
+			end = len(out)
+		}
+		if err := fn(out[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Replay is the injection point for recorded captures: it propagates a
 // burst that originally aired at txFreqMHz to a receiver tuned to
 // rxFreqMHz, exactly like Deliver, but accounts the burst separately so

@@ -26,6 +26,18 @@ type Capture struct {
 	LinkSNRdB float64
 }
 
+// CaptureChunk is one slab of a capture in chunked delivery mode: the
+// embedded Capture's IQ holds only the slab, Offset locates it within
+// the reporting period's capture and Last marks the capture boundary —
+// the point where a streaming receiver flushes its partial state.
+type CaptureChunk struct {
+	Capture
+	// Offset is the slab's sample offset within its capture.
+	Offset int
+	// Last reports that this slab ends the capture.
+	Last bool
+}
+
 // LiveNetwork runs the victim network in real time: a background
 // goroutine ticks the sensor at its reporting interval (two seconds in
 // the paper's setup, configurable for tests) and streams the
@@ -38,8 +50,10 @@ type LiveNetwork struct {
 	sim            *Simulation
 	interval       time.Duration
 	captureChannel int
+	chunk          int
 
 	captures chan Capture
+	chunks   chan CaptureChunk
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -52,6 +66,22 @@ type LiveNetwork struct {
 // where the observer's radio is tuned. The returned LiveNetwork must be
 // stopped with Shutdown.
 func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*LiveNetwork, error) {
+	return startLive(sim, interval, captureChannel, 0)
+}
+
+// StartLiveChunked is the chunked delivery mode for streaming
+// receivers: instead of one whole-period capture per tick, the network
+// emits consecutive slabs of at most chunk samples on Chunks(), the
+// final slab of each capture flagged Last. Captures() stays empty in
+// this mode.
+func StartLiveChunked(sim *Simulation, interval time.Duration, captureChannel, chunk int) (*LiveNetwork, error) {
+	if chunk <= 0 {
+		return nil, fmt.Errorf("zigbee: chunk size %d <= 0", chunk)
+	}
+	return startLive(sim, interval, captureChannel, chunk)
+}
+
+func startLive(sim *Simulation, interval time.Duration, captureChannel, chunk int) (*LiveNetwork, error) {
 	if sim == nil {
 		return nil, fmt.Errorf("zigbee: nil simulation")
 	}
@@ -65,7 +95,9 @@ func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*Li
 		sim:            sim,
 		interval:       interval,
 		captureChannel: captureChannel,
+		chunk:          chunk,
 		captures:       make(chan Capture, 1),
+		chunks:         make(chan CaptureChunk, 1),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
 	}
@@ -78,6 +110,12 @@ func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*Li
 // check Err).
 func (l *LiveNetwork) Captures() <-chan Capture {
 	return l.captures
+}
+
+// Chunks streams capture slabs when the network was started with
+// StartLiveChunked; it stays empty (and closes on shutdown) otherwise.
+func (l *LiveNetwork) Chunks() <-chan CaptureChunk {
+	return l.chunks
 }
 
 // Err returns the first error the reporting loop encountered, if any.
@@ -97,6 +135,7 @@ func (l *LiveNetwork) Shutdown() {
 func (l *LiveNetwork) run() {
 	defer close(l.done)
 	defer close(l.captures)
+	defer close(l.chunks)
 
 	ticker := time.NewTicker(l.interval)
 	defer ticker.Stop()
@@ -121,6 +160,12 @@ func (l *LiveNetwork) run() {
 				LinkSNRdB: l.sim.AttackerLink.SNRdB,
 			}
 			seq++
+			if l.chunk > 0 {
+				if !l.emitChunks(capture) {
+					return
+				}
+				continue
+			}
 			select {
 			case l.captures <- capture:
 			case <-l.stop:
@@ -128,4 +173,29 @@ func (l *LiveNetwork) run() {
 			}
 		}
 	}
+}
+
+// emitChunks slices one capture into chunk-sized slabs and streams them
+// on the chunks channel; it reports false when shutdown interrupted the
+// walk.
+func (l *LiveNetwork) emitChunks(capture Capture) bool {
+	sig := capture.IQ
+	for start := 0; start == 0 || start < len(sig); start += l.chunk {
+		end := start + l.chunk
+		if end > len(sig) {
+			end = len(sig)
+		}
+		cc := CaptureChunk{
+			Capture: capture,
+			Offset:  start,
+			Last:    end == len(sig),
+		}
+		cc.IQ = sig[start:end]
+		select {
+		case l.chunks <- cc:
+		case <-l.stop:
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,109 @@
+package wazabee
+
+// Streaming-pipeline benchmarks: the "after" numbers the Makefile bench
+// target pairs with BenchmarkWazaBeeRX/BenchmarkWazaBeeTX (the "before"
+// whole-capture/allocating paths). Run with -benchmem: the headline is
+// allocs/op, which must reach 0 in the RX steady state and stay flat in
+// TX regardless of frame size.
+
+import (
+	"testing"
+
+	"wazabee/internal/chip"
+	"wazabee/internal/obs"
+)
+
+// BenchmarkRxStream measures the streaming reception primitive: the
+// golden capture is fed in fixed-size chunks through a long-lived
+// RxStream, flushing at each capture boundary. Compare against
+// BenchmarkWazaBeeRX, which allocates a fresh buffer set per call.
+func BenchmarkRxStream(b *testing.B) {
+	tx, err := chip.NRF52832().NewWazaBeeTransmitter(benchSPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := chip.CC1352R1().NewWazaBeeReceiver(benchSPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ppdu := benchPPDU(b, []byte{0x41, 0x88, 0x01, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x2a})
+	sig, err := tx.Modulate(ppdu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	padded, err := sig.Pad(200, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rx.Obs = reg
+
+	const chunk = 512
+	s := rx.Stream()
+	defer s.Close()
+	// One warm-up capture so every pooled slab reaches steady-state
+	// capacity before measurement.
+	for start := 0; start < len(padded); start += chunk {
+		end := start + chunk
+		if end > len(padded) {
+			end = len(padded)
+		}
+		s.Push(padded[start:end])
+	}
+	if _, _, err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for start := 0; start < len(padded); start += chunk {
+			end := start + chunk
+			if end > len(padded) {
+				end = len(padded)
+			}
+			s.Push(padded[start:end])
+		}
+		if _, _, err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportStageMetrics(b, reg)
+}
+
+// BenchmarkTxPooled measures the pooled transmission primitive: frame
+// modulation with every intermediate (octets, chips, MSK bits) drawn
+// from the shared buffer pool and the waveform returned to it after use.
+// Compare against BenchmarkWazaBeeTX, which allocates each intermediate.
+func BenchmarkTxPooled(b *testing.B) {
+	tx, err := chip.NRF52832().NewWazaBeeTransmitter(benchSPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tx.Obs = reg
+	ppdu := benchPPDU(b, []byte{0x41, 0x88, 0x01, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0x2a})
+
+	// Warm the pool with one round trip.
+	if sig, release, err := tx.ModulatePooled(ppdu); err != nil || len(sig) == 0 {
+		b.Fatalf("warm-up modulation failed: %v", err)
+	} else {
+		release()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, release, err := tx.ModulatePooled(ppdu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sig) == 0 {
+			b.Fatal("empty waveform")
+		}
+		release()
+	}
+	b.StopTimer()
+	reportStageMetrics(b, reg)
+}
