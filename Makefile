@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race racestream bench fuzz smoke ci
+.PHONY: build vet test race racestream racerunner determinism bench fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,15 +32,28 @@ fuzz:
 	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzPCAPRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/capture -run '^$$' -fuzz FuzzZEPDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzStreamChunks -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiment/runner -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
 
 # The concurrent per-channel streaming test under the race detector:
 # many RxStreams plus whole-capture calls sharing one Receiver/registry.
 racestream:
 	$(GO) test -race -run TestStreamConcurrentChannels -count 4 ./internal/core
 
+# The Monte-Carlo runner hammered under the race detector: worker-pool
+# churn and concurrent sweeps on one shared registry, with exact shard
+# and trial accounting checked afterwards.
+racerunner:
+	$(GO) test -race -run 'TestRunnerHammer' -count 2 ./internal/experiment/runner
+
+# The runner's reproducibility contract: results bit-identical across
+# worker counts {1,4,8}, sweep-order permutations, and checkpoint/resume
+# boundaries.
+determinism:
+	$(GO) test -run 'DeterministicAcrossWorkers|OrderIndependent|CheckpointResume|CancellationAndResume|ShuffledPointOrder' -count 1 ./internal/experiment ./internal/experiment/runner
+
 # One-shot link diagnostics over the simulated medium: exercises the
 # whole TX → medium → RX → LinkStats path from the CLI.
 smoke:
 	$(GO) run ./cmd/wazabee link -frames 5
 
-ci: vet build test race racestream fuzz smoke
+ci: vet build test race racestream racerunner determinism fuzz smoke

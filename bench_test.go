@@ -315,6 +315,39 @@ func BenchmarkSNRSweep(b *testing.B) {
 	b.ReportMetric(100*per/float64(b.N), "per-at-6dB%")
 }
 
+// BenchmarkRunnerSweep measures the sharded Monte-Carlo runner on a real
+// sweep workload at different worker-pool sizes. The results are
+// bit-identical across sub-benchmarks (that is the runner's contract);
+// only the wall clock changes, so serial vs workers-8 reads directly as
+// the engine's parallel speedup on multicore hardware.
+func BenchmarkRunnerSweep(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		cfg := experiment.SweepConfig{
+			SNRs:           []float64{4, 6, 8},
+			FramesPerPoint: 16,
+			SamplesPerChip: benchSPS,
+			Workers:        workers,
+			Channel:        14,
+			Obs:            obs.NewRegistry(),
+		}
+		trials := 0
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(i + 1)
+			points, err := experiment.RunSweep(cfg, chip.CC1352R1(), experiment.Reception)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range points {
+				trials += p.Frames
+			}
+		}
+		b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("workers-4", func(b *testing.B) { run(b, 4) })
+	b.Run("workers-8", func(b *testing.B) { run(b, 8) })
+}
+
 // BenchmarkIDSDetection measures the section VII counter-measure: the
 // detection rate on WazaBee traffic and the false-positive rate on
 // legitimate traffic at 18 dB SNR.

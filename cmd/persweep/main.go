@@ -2,13 +2,16 @@
 // rate versus SNR waterfalls for both primitives: where Table III
 // samples one operating point per channel, this sweep locates the
 // sensitivity knee and quantifies the Gaussian-approximation penalty of
-// transmitting through a BLE modulator. Output is CSV.
+// transmitting through a BLE modulator. Output is CSV; every PER comes
+// with its 95% Wilson interval.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"wazabee/internal/chip"
 	"wazabee/internal/experiment"
@@ -24,22 +27,33 @@ func main() {
 func run() error {
 	frames := flag.Int("frames", 50, "frames per SNR point")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size; 0 = GOMAXPROCS (results are identical at any value)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file prefix; each chip/side sweep persists completed shards to <prefix>.<chip>.<side>.json and resumes from it (Ctrl-C is a clean interruption)")
+	ciHalf := flag.Float64("ci", 0, "adaptive stop: end each SNR point once the 95% CI half-width of its PER reaches this target; 0 = fixed frame count")
 	flag.Parse()
 
 	cfg := experiment.DefaultSweepConfig()
 	cfg.FramesPerPoint = *frames
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.CIHalfWidth = *ciHalf
 
-	fmt.Println("chip,side,snr_db,per,corrupted,lost")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Println("chip,side,snr_db,frames,per,per_lo,per_hi,corrupted,lost")
 	for _, model := range []chip.Model{chip.NRF52832(), chip.CC1352R1()} {
 		for _, side := range []experiment.Side{experiment.Reception, experiment.Transmission} {
-			points, err := experiment.RunSweep(cfg, model, side)
+			if *checkpoint != "" {
+				cfg.Checkpoint = fmt.Sprintf("%s.%s.%s.json", *checkpoint, model.Name, side)
+			}
+			points, err := experiment.RunSweepContext(ctx, cfg, model, side)
 			if err != nil {
 				return err
 			}
 			for _, p := range points {
-				fmt.Printf("%s,%v,%.1f,%.4f,%.4f,%.4f\n",
-					model.Name, side, p.SNRdB, p.PER, p.CorruptedRate, p.LossRate)
+				fmt.Printf("%s,%v,%.1f,%d,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+					model.Name, side, p.SNRdB, p.Frames, p.PER, p.PERLo, p.PERHi, p.CorruptedRate, p.LossRate)
 			}
 		}
 	}

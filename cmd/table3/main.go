@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 
 	"wazabee/internal/chip"
 	"wazabee/internal/experiment"
@@ -40,6 +42,9 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	side := flag.String("side", "both", "primitive to assess: rx, tx or both")
 	wifi := flag.Bool("wifi", true, "enable WiFi interference on channels 6 and 11")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size; 0 = GOMAXPROCS (results are identical at any value)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file prefix; each chip/side run persists completed shards to <prefix>.<chip>.<side>.json and resumes from it (Ctrl-C is a clean interruption)")
+	ciHalf := flag.Float64("ci", 0, "adaptive stop: end each channel once the 95% CI half-width of its valid rate reaches this target; 0 = fixed frame count")
 	metrics := flag.Bool("metrics", false, "print the telemetry snapshot and a traced round trip after the run")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and net/http/pprof on this address (e.g. :9090); implies -metrics and keeps the process alive")
 	flag.Parse()
@@ -79,11 +84,21 @@ func run() error {
 	cfg.FramesPerChannel = *frames
 	cfg.Seed = *seed
 	cfg.WiFi = *wifi
+	cfg.Workers = *workers
+	cfg.CIHalfWidth = *ciHalf
 	cfg.Obs = reg
+
+	// Ctrl-C cancels the sweep cleanly: with -checkpoint set, the
+	// completed shards survive and the next identical invocation resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	for _, model := range []chip.Model{chip.NRF52832(), chip.CC1352R1()} {
 		for _, s := range sides {
-			res, err := experiment.Run(cfg, model, s)
+			if *checkpoint != "" {
+				cfg.Checkpoint = fmt.Sprintf("%s.%s.%s.json", *checkpoint, model.Name, s)
+			}
+			res, err := experiment.RunContext(ctx, cfg, model, s)
 			if err != nil {
 				return err
 			}

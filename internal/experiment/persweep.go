@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
 	"wazabee/internal/chip"
 	"wazabee/internal/dsp"
+	"wazabee/internal/experiment/runner"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/obs"
 	"wazabee/internal/radio"
@@ -26,12 +28,28 @@ func sweepCounter(reg *obs.Registry, model chip.Model, side Side, snrDB float64,
 		"class", class)
 }
 
+// sweepClasses is the outcome class set of a sweep trial.
+var sweepClasses = []string{"valid", "corrupted", "lost"}
+
+// sweepPointKey is the runner point key of one operating point; the
+// 'g'/-1 format round-trips float64 exactly, so distinct SNRs always get
+// distinct keys (and distinct trial seed streams).
+func sweepPointKey(snrDB float64) string {
+	return "snr" + strconv.FormatFloat(snrDB, 'g', -1, 64)
+}
+
 // SweepPoint is one operating point of a packet-error-rate sweep.
 type SweepPoint struct {
 	SNRdB float64
+	// Frames is the number of frames the point measured (FramesPerPoint,
+	// unless adaptive stopping ended the point early).
+	Frames int
 	// PER is the packet error rate (anything but a valid frame counts
 	// as an error).
 	PER float64
+	// PERLo and PERHi bound PER with a 95% Wilson score interval.
+	PERLo float64
+	PERHi float64
 	// CorruptedRate and LossRate split the errors by class.
 	CorruptedRate float64
 	LossRate      float64
@@ -48,7 +66,19 @@ type SweepConfig struct {
 	FramesPerPoint int
 	// SamplesPerChip is the oversampling factor.
 	SamplesPerChip int
-	// Seed drives all randomness.
+	// Workers bounds the Monte-Carlo worker pool; <= 0 means
+	// runtime.GOMAXPROCS. Results do not depend on the value.
+	Workers int
+	// Checkpoint, when non-empty, persists completed trial shards to
+	// this path for cancellation/resume.
+	Checkpoint string
+	// CIHalfWidth, when > 0, stops each operating point once the 95%
+	// Wilson half-width of its PER reaches this target, instead of
+	// always spending FramesPerPoint frames.
+	CIHalfWidth float64
+	// Seed drives all randomness: every frame's noise derives from
+	// (Seed, SNR point, frame index) alone, so a point's result does not
+	// depend on which other points the sweep contains or on their order.
 	Seed int64
 	// Channel is the Zigbee channel to run on.
 	Channel int
@@ -69,11 +99,20 @@ func DefaultSweepConfig() SweepConfig {
 	}
 }
 
-// RunSweep measures PER versus SNR for one chip model and side over a
-// clean channel (no WiFi, no CFO — pure sensitivity). The per-point
-// tallies live as counters on the run's registry; the returned points
-// are read back from them.
+// RunSweep measures PER versus SNR with a background context. See
+// RunSweepContext.
 func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error) {
+	return RunSweepContext(context.Background(), cfg, model, side)
+}
+
+// RunSweepContext measures PER versus SNR for one chip model and side
+// over a clean channel (no WiFi, no CFO — pure sensitivity) on the
+// sharded Monte-Carlo runner. Each (SNR, frame) pair runs on its own
+// freshly seeded medium, so a point's PER is a property of the point — it
+// cannot shift when the SNR list is reordered, extended, or split across
+// workers. The per-point tallies live as counters on the run's registry;
+// the returned points carry 95% Wilson intervals on PER.
+func RunSweepContext(ctx context.Context, cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error) {
 	if len(cfg.SNRs) == 0 || cfg.FramesPerPoint < 1 {
 		return nil, fmt.Errorf("experiment: empty sweep configuration")
 	}
@@ -84,76 +123,69 @@ func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error
 	if err != nil {
 		return nil, err
 	}
+	// Validate the chip/side combination once up front, so a
+	// misconfigured model is an error rather than a 100% loss column.
+	switch side {
+	case Reception:
+		_, err = model.NewWazaBeeReceiver(cfg.SamplesPerChip)
+	case Transmission:
+		_, err = model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+	}
+	if err != nil {
+		return nil, err
+	}
+
 	reg := obs.NewRegistry()
-	stick := chip.RZUSBStick()
-	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
-	if err != nil {
-		return nil, err
+	points := make([]runner.Point, len(cfg.SNRs))
+	snrOf := make(map[string]float64, len(cfg.SNRs))
+	for i, snr := range cfg.SNRs {
+		key := sweepPointKey(snr)
+		points[i] = runner.Point{Key: key, Trials: cfg.FramesPerPoint}
+		snrOf[key] = snr
 	}
-	zigbeePHY.Obs = reg
-	medium, err := radio.NewMedium(float64(cfg.SamplesPerChip)*ieee802154.ChipRate, cfg.Seed)
-	if err != nil {
-		return nil, err
+	spec := runner.Spec{
+		Name:       "persweep/" + model.Name + "/" + side.String(),
+		Seed:       cfg.Seed,
+		Points:     points,
+		Workers:    cfg.Workers,
+		Classes:    sweepClasses,
+		Checkpoint: cfg.Checkpoint,
+		Obs:        reg,
 	}
-	medium.Obs = reg
+	if cfg.CIHalfWidth > 0 {
+		// Wilson intervals of p and 1-p mirror each other with equal
+		// width, so stopping on the valid rate's half-width is exactly
+		// stopping on the PER half-width.
+		spec.Stop = &runner.Stop{Class: "valid", HalfWidth: cfg.CIHalfWidth}
+	}
 
-	out := make([]SweepPoint, 0, len(cfg.SNRs))
-	for _, snr := range cfg.SNRs {
-		corrupted := sweepCounter(reg, model, side, snr, "corrupted")
-		lost := sweepCounter(reg, model, side, snr, "lost")
-		// Touch the valid counter so a perfect operating point still
-		// exports a full series triple.
-		valid := sweepCounter(reg, model, side, snr, "valid")
-		for i := 0; i < cfg.FramesPerPoint; i++ {
-			frame := ieee802154.NewDataFrame(uint8(i), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
-				zigbee.DefaultSensor, zigbee.SensorPayload(uint16(i)), false)
-			psdu, err := frame.Encode()
-			if err != nil {
-				return nil, err
-			}
-			ppdu, err := ieee802154.NewPPDU(psdu)
-			if err != nil {
-				return nil, err
-			}
-
-			var sig dsp.IQ
-			var rxNF float64
-			switch side {
-			case Reception:
-				sig, err = zigbeePHY.Modulate(ppdu)
-				rxNF = model.NoiseFigureDB
-			case Transmission:
-				tx, terr := model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
-				if terr != nil {
-					return nil, terr
-				}
-				tx.Obs = reg
-				sig, err = tx.Modulate(ppdu)
-				rxNF = stick.NoiseFigureDB
-			}
-			if err != nil {
-				return nil, err
-			}
-			link := radio.Link{
-				SNRdB:       snr - rxNF,
-				LeadSamples: 30 * cfg.SamplesPerChip,
-				LagSamples:  15 * cfg.SamplesPerChip,
-			}
-			capture, err := medium.Deliver(sig, freq, freq, link)
-			if err != nil {
-				return nil, err
-			}
-
-			classify(model, zigbeePHY, side, cfg.SamplesPerChip, reg, capture, psdu, valid, corrupted, lost)
+	res, err := runner.Run(ctx, spec, func(ctx context.Context, seed int64, point runner.Point, frame int) (runner.Outcome, error) {
+		class, err := sweepTrial(cfg, reg, model, side, freq, snrOf[point.Key], seed, frame)
+		if err != nil {
+			return runner.Outcome{}, err
 		}
-		n := float64(cfg.FramesPerPoint)
+		return runner.Outcome{Class: class}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepPoint, len(res.Points))
+	for i, pr := range res.Points {
+		snr := snrOf[pr.Point.Key]
+		for _, class := range sweepClasses {
+			sweepCounter(reg, model, side, snr, class).Add(uint64(pr.Counts[class]))
+		}
+		n := float64(pr.Trials)
 		point := SweepPoint{
 			SNRdB:         snr,
-			CorruptedRate: float64(corrupted.Value()) / n,
-			LossRate:      float64(lost.Value()) / n,
+			Frames:        pr.Trials,
+			CorruptedRate: float64(pr.Counts["corrupted"]) / n,
+			LossRate:      float64(pr.Counts["lost"]) / n,
 		}
 		point.PER = point.CorruptedRate + point.LossRate
-		out = append(out, point)
+		point.PERLo, point.PERHi = runner.Wilson(pr.Counts["corrupted"]+pr.Counts["lost"], pr.Trials)
+		out[i] = point
 	}
 	if err := obs.Or(cfg.Obs).Merge(reg); err != nil {
 		return nil, err
@@ -161,39 +193,92 @@ func RunSweep(cfg SweepConfig, model chip.Model, side Side) ([]SweepPoint, error
 	return out, nil
 }
 
-func classify(model chip.Model, zigbeePHY *ieee802154.PHY, side Side, sps int, reg *obs.Registry, capture dsp.IQ, want []byte, valid, corrupted, lost *obs.Counter) {
+// sweepTrial measures one frame at one operating point on a medium
+// seeded from the trial's derived seed alone.
+func sweepTrial(cfg SweepConfig, reg *obs.Registry, model chip.Model, side Side, freq, snr float64, seed int64, frame int) (string, error) {
+	stick := chip.RZUSBStick()
+	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
+	if err != nil {
+		return "", err
+	}
+	zigbeePHY.Obs = reg
+	medium, err := radio.NewMedium(float64(cfg.SamplesPerChip)*ieee802154.ChipRate, seed)
+	if err != nil {
+		return "", err
+	}
+	medium.Obs = reg
+
+	frameHdr := ieee802154.NewDataFrame(uint8(frame), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+		zigbee.DefaultSensor, zigbee.SensorPayload(uint16(frame)), false)
+	psdu, err := frameHdr.Encode()
+	if err != nil {
+		return "", err
+	}
+	ppdu, err := ieee802154.NewPPDU(psdu)
+	if err != nil {
+		return "", err
+	}
+
+	var sig dsp.IQ
+	var rxNF float64
+	switch side {
+	case Reception:
+		sig, err = zigbeePHY.Modulate(ppdu)
+		rxNF = model.NoiseFigureDB
+	case Transmission:
+		tx, terr := model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+		if terr != nil {
+			return "", terr
+		}
+		tx.Obs = reg
+		sig, err = tx.Modulate(ppdu)
+		rxNF = stick.NoiseFigureDB
+	}
+	if err != nil {
+		return "", err
+	}
+	link := radio.Link{
+		SNRdB:       snr - rxNF,
+		LeadSamples: 30 * cfg.SamplesPerChip,
+		LagSamples:  15 * cfg.SamplesPerChip,
+	}
+	capture, err := medium.Deliver(sig, freq, freq, link)
+	if err != nil {
+		return "", err
+	}
+	return classifySweep(model, zigbeePHY, side, cfg.SamplesPerChip, reg, capture, psdu), nil
+}
+
+// classifySweep maps one delivered capture to its outcome class:
+// reception/decode failures are "lost", payload mismatches "corrupted".
+func classifySweep(model chip.Model, zigbeePHY *ieee802154.PHY, side Side, sps int, reg *obs.Registry, capture dsp.IQ, want []byte) string {
 	var psdu []byte
 	switch side {
 	case Reception:
 		rx, err := model.NewWazaBeeReceiver(sps)
 		if err != nil {
-			lost.Inc()
-			return
+			return "lost"
 		}
 		rx.Obs = reg
 		dem, err := rx.Receive(capture)
 		if err != nil {
-			lost.Inc()
-			return
+			return "lost"
 		}
 		psdu = dem.PPDU.PSDU
 	case Transmission:
 		dem, err := zigbeePHY.Demodulate(capture)
 		if err != nil {
-			lost.Inc()
-			return
+			return "lost"
 		}
 		psdu = dem.PPDU.PSDU
 	}
 	if len(psdu) != len(want) {
-		corrupted.Inc()
-		return
+		return "corrupted"
 	}
 	for i := range want {
 		if psdu[i] != want[i] {
-			corrupted.Inc()
-			return
+			return "corrupted"
 		}
 	}
-	valid.Inc()
+	return "valid"
 }

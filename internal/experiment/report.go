@@ -80,7 +80,9 @@ func FormatComparison(r *Result) string {
 	}
 	valid, corrupted, lost := r.Totals()
 	total := valid + corrupted + lost
-	fmt.Fprintf(&b, "average valid: measured %.3f %%", 100*float64(valid)/float64(total))
+	lo, hi := r.ValidRateInterval()
+	fmt.Fprintf(&b, "average valid: measured %.3f %% (95%% CI %.3f–%.3f %%)",
+		100*float64(valid)/float64(total), 100*lo, 100*hi)
 	if avg, ok := PaperAverageValid(r.Chip, r.Side); ok {
 		fmt.Fprintf(&b, " (paper: %.3f %%)", avg)
 	}

@@ -1,0 +1,49 @@
+package runner
+
+import "math"
+
+// z95 is the two-sided 95% normal quantile used for every interval the
+// runner reports.
+const z95 = 1.959963984540054
+
+// Wilson returns the 95% Wilson score interval for a rate estimated from
+// count successes in trials attempts. Unlike the Wald interval it stays
+// inside [0, 1] and behaves sensibly at the extremes (0 or trials
+// successes), which Monte-Carlo PER estimates hit routinely on clean
+// channels. Zero trials yields the vacuous [0, 1].
+func Wilson(count, trials int) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(count) / n
+	z2 := z95 * z95
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z95 * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	// At the extremes the exact bound is an endpoint — center±half reduces
+	// algebraically to (1 + z²/n)/(1 + z²/n) — but floating point can land
+	// one ulp inside; snap to the exact value.
+	if count <= 0 {
+		lo = 0
+	}
+	if count >= trials {
+		hi = 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// WilsonHalfWidth returns half the width of the 95% Wilson interval — the
+// quantity the adaptive stopping rule drives below its target.
+func WilsonHalfWidth(count, trials int) float64 {
+	lo, hi := Wilson(count, trials)
+	return (hi - lo) / 2
+}

@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %.10f, want %.10f", name, got, want)
+	}
+}
+
+// TestWilsonGolden pins the interval to independently computed values.
+func TestWilsonGolden(t *testing.T) {
+	lo, hi := Wilson(5, 10)
+	approx(t, "lo(5,10)", lo, 0.2365930905)
+	approx(t, "hi(5,10)", hi, 0.7634069095)
+
+	lo, hi = Wilson(0, 100)
+	approx(t, "lo(0,100)", lo, 0)
+	approx(t, "hi(0,100)", hi, 0.0369934982)
+
+	lo, hi = Wilson(100, 100)
+	approx(t, "lo(100,100)", lo, 0.9630065018)
+	approx(t, "hi(100,100)", hi, 1)
+
+	lo, hi = Wilson(98, 100)
+	approx(t, "lo(98,100)", lo, 0.9299882093)
+	approx(t, "hi(98,100)", hi, 0.9944980324)
+}
+
+// TestWilsonProperties checks the structural guarantees every consumer
+// leans on: containment of the point estimate, [0,1] bounds, symmetry of
+// complements, and shrinking width with more trials.
+func TestWilsonProperties(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{0, 1}, {1, 1}, {3, 7}, {50, 100}, {999, 1000}} {
+		lo, hi := Wilson(tc.k, tc.n)
+		p := float64(tc.k) / float64(tc.n)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d,%d) = [%g, %g] not a valid interval", tc.k, tc.n, lo, hi)
+		}
+		if p < lo || p > hi {
+			t.Errorf("Wilson(%d,%d) = [%g, %g] excludes the point estimate %g", tc.k, tc.n, lo, hi, p)
+		}
+		// Complement symmetry: the interval for n−k failures mirrors it.
+		clo, chi := Wilson(tc.n-tc.k, tc.n)
+		approx(t, "complement lo", clo, 1-hi)
+		approx(t, "complement hi", chi, 1-lo)
+	}
+	if w10, w1000 := WilsonHalfWidth(5, 10), WilsonHalfWidth(500, 1000); w1000 >= w10 {
+		t.Errorf("half-width did not shrink with trials: %g at n=10, %g at n=1000", w10, w1000)
+	}
+	if lo, hi := Wilson(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%g, %g], want the vacuous [0, 1]", lo, hi)
+	}
+}

@@ -4,19 +4,26 @@
 // with integrity corruption, or not received) under the paper's
 // experimental conditions — including the WiFi networks on channels 6 and
 // 11 that degrade Zigbee channels 17–18 and 21–23.
+//
+// All experiments run on the trial-sharded Monte-Carlo engine of
+// internal/experiment/runner: every frame's randomness derives from
+// (seed, point, frame index) alone, so results are bit-identical at any
+// worker count, in any point order, and across checkpoint/resume
+// boundaries, and every rate estimate carries a 95% Wilson interval.
 package experiment
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
-	"sync"
 
 	"wazabee/internal/bitstream"
 	"wazabee/internal/chip"
 	"wazabee/internal/core"
 	"wazabee/internal/dsp"
+	"wazabee/internal/experiment/runner"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/obs"
 	oblink "wazabee/internal/obs/link"
@@ -68,6 +75,17 @@ type Config struct {
 	FramesPerChannel int
 	// SamplesPerChip is the baseband oversampling factor.
 	SamplesPerChip int
+	// Workers bounds the Monte-Carlo worker pool; <= 0 means
+	// runtime.GOMAXPROCS. Results do not depend on the value.
+	Workers int
+	// Checkpoint, when non-empty, persists completed trial shards to this
+	// path: a cancelled run can resume from it and finish bit-identically
+	// to an uninterrupted one.
+	Checkpoint string
+	// CIHalfWidth, when > 0, stops each channel adaptively once the 95%
+	// Wilson half-width of its valid rate reaches this target, instead of
+	// always spending FramesPerChannel frames.
+	CIHalfWidth float64
 	// Obs, when non-nil, receives the run's telemetry: the per-channel
 	// classification counters plus everything the instrumented pipeline
 	// underneath (core, radio, ieee802154) reports. Each run accumulates
@@ -113,6 +131,18 @@ type ChannelResult struct {
 	NotReceived int
 }
 
+// Frames is the number of frames the row tallies (FramesPerChannel,
+// unless adaptive stopping ended the channel early).
+func (c ChannelResult) Frames() int {
+	return c.Valid + c.Corrupted + c.NotReceived
+}
+
+// ValidInterval returns the 95% Wilson score interval of the row's
+// valid-frame rate.
+func (c ChannelResult) ValidInterval() (lo, hi float64) {
+	return runner.Wilson(c.Valid, c.Frames())
+}
+
 // Result is a full 16-channel column of Table III.
 type Result struct {
 	Chip   string
@@ -142,6 +172,13 @@ func (r *Result) ValidRate() float64 {
 	return float64(valid) / float64(total)
 }
 
+// ValidRateInterval returns the 95% Wilson score interval of the overall
+// valid rate.
+func (r *Result) ValidRateInterval() (lo, hi float64) {
+	valid, corrupted, notReceived := r.Totals()
+	return runner.Wilson(valid, valid+corrupted+notReceived)
+}
+
 // Row returns the result row for a channel, and false when absent.
 func (r *Result) Row(channel int) (ChannelResult, bool) {
 	for _, row := range r.Rows {
@@ -152,11 +189,22 @@ func (r *Result) Row(channel int) (ChannelResult, bool) {
 	return ChannelResult{}, false
 }
 
-// Run executes the Table III experiment for one chip model and side.
-// Channels run concurrently, each on its own medium seeded from
-// (Seed, channel), so results are reproducible regardless of
-// parallelism.
+// table3Classes is the outcome class set of a Table III trial.
+var table3Classes = []string{"valid", "corrupted", "not_received"}
+
+// Run executes the Table III experiment for one chip model and side with
+// a background context. See RunContext.
 func Run(cfg Config, model chip.Model, side Side) (*Result, error) {
+	return RunContext(context.Background(), cfg, model, side)
+}
+
+// RunContext executes the Table III experiment for one chip model and
+// side on the sharded Monte-Carlo runner: (channel, frame) work items on
+// a bounded worker pool, every frame's randomness derived from
+// (Seed, channel, frame) so the rows are reproducible regardless of
+// parallelism and scheduling. Cancelling ctx stops the sweep; with
+// cfg.Checkpoint set, the completed shards survive for resume.
+func RunContext(ctx context.Context, cfg Config, model chip.Model, side Side) (*Result, error) {
 	if cfg.FramesPerChannel < 1 {
 		return nil, fmt.Errorf("experiment: frames per channel %d < 1", cfg.FramesPerChannel)
 	}
@@ -177,40 +225,60 @@ func Run(cfg Config, model chip.Model, side Side) (*Result, error) {
 	}
 
 	channels := ieee802154.Channels()
+	// All telemetry of the run — the per-channel classification
+	// counters and everything the pipeline underneath reports — lands
+	// in a run-local registry, then merges into the caller's registry
+	// once the run is known good.
+	runReg := obs.NewRegistry()
+	points := make([]runner.Point, len(channels))
+	channelOf := make(map[string]int, len(channels))
+	for i, channel := range channels {
+		key := "ch" + strconv.Itoa(channel)
+		points[i] = runner.Point{Key: key, Trials: cfg.FramesPerChannel}
+		channelOf[key] = channel
+	}
+	spec := runner.Spec{
+		Name:       "table3/" + model.Name + "/" + side.String(),
+		Seed:       cfg.Seed,
+		Points:     points,
+		Workers:    cfg.Workers,
+		Classes:    table3Classes,
+		Checkpoint: cfg.Checkpoint,
+		Obs:        runReg,
+	}
+	if cfg.CIHalfWidth > 0 {
+		spec.Stop = &runner.Stop{Class: "valid", HalfWidth: cfg.CIHalfWidth}
+	}
+
+	res, err := runner.Run(ctx, spec, func(ctx context.Context, seed int64, point runner.Point, frame int) (runner.Outcome, error) {
+		class, err := table3Trial(cfg, runReg, model, side, channelOf[point.Key], seed, frame)
+		if err != nil {
+			return runner.Outcome{}, err
+		}
+		return runner.Outcome{Class: class}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	result := &Result{
 		Chip:   model.Name,
 		Side:   side,
 		Frames: cfg.FramesPerChannel,
 		Rows:   make([]ChannelResult, len(channels)),
 	}
-	// All telemetry of the run — the per-channel classification
-	// counters and everything the pipeline underneath reports — lands
-	// in a run-local registry, then merges into the caller's registry
-	// once the run is known good.
-	runReg := obs.NewRegistry()
-	errs := make([]error, len(channels))
-	var wg sync.WaitGroup
-	for idx, channel := range channels {
-		wg.Add(1)
-		go func(idx, channel int) {
-			defer wg.Done()
-			errs[idx] = runChannel(cfg, runReg, model, side, channel)
-		}(idx, channel)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	// The result rows are read back from the counters — the registry is
-	// the single source of truth for the tallies.
-	for idx, channel := range channels {
-		result.Rows[idx] = ChannelResult{
+	for i, pr := range res.Points {
+		channel := channelOf[pr.Point.Key]
+		result.Rows[i] = ChannelResult{
 			Channel:     channel,
-			Valid:       int(frameCounter(runReg, model, side, channel, "valid").Value()),
-			Corrupted:   int(frameCounter(runReg, model, side, channel, "corrupted").Value()),
-			NotReceived: int(frameCounter(runReg, model, side, channel, "not_received").Value()),
+			Valid:       pr.Counts["valid"],
+			Corrupted:   pr.Counts["corrupted"],
+			NotReceived: pr.Counts["not_received"],
+		}
+		// The per-channel counters mirror the runner tallies, keeping the
+		// registry the queryable record of the run.
+		for _, class := range table3Classes {
+			frameCounter(runReg, model, side, channel, class).Add(uint64(pr.Counts[class]))
 		}
 	}
 	if err := obs.Or(cfg.Obs).Merge(runReg); err != nil {
@@ -219,18 +287,16 @@ func Run(cfg Config, model chip.Model, side Side) (*Result, error) {
 	return result, nil
 }
 
-// runChannel measures one Table III cell: FramesPerChannel frames on one
-// channel, with all randomness derived from (Seed, channel). The
-// classification tallies are the per-channel counters on reg.
-func runChannel(cfg Config, reg *obs.Registry, model chip.Model, side Side, channel int) error {
-	valid := frameCounter(reg, model, side, channel, "valid")
-	corrupted := frameCounter(reg, model, side, channel, "corrupted")
-	notReceived := frameCounter(reg, model, side, channel, "not_received")
-
+// table3Trial measures one Table III frame: one transmission over a
+// fresh medium whose every random draw — noise, burst timing, CFO,
+// interference gating — flows from the trial's derived seed and nothing
+// else. That isolation is what makes the cell independent of which
+// worker, and in which order, ran it.
+func table3Trial(cfg Config, reg *obs.Registry, model chip.Model, side Side, channel int, seed int64, frame int) (string, error) {
 	sampleRate := float64(cfg.SamplesPerChip) * ieee802154.ChipRate
-	medium, err := radio.NewMedium(sampleRate, cfg.Seed*1000+int64(channel))
+	medium, err := radio.NewMedium(sampleRate, seed)
 	if err != nil {
-		return err
+		return "", err
 	}
 	medium.Obs = reg
 	if cfg.WiFi {
@@ -238,7 +304,7 @@ func runChannel(cfg Config, reg *obs.Registry, model chip.Model, side Side, chan
 		for _, wifiChannel := range []int{6, 11} {
 			w, err := radio.NewWiFiInterferer(wifiChannel, cfg.WiFiDutyCycle, cfg.WiFiPower, burst)
 			if err != nil {
-				return err
+				return "", err
 			}
 			medium.AddWiFi(w)
 		}
@@ -247,7 +313,7 @@ func runChannel(cfg Config, reg *obs.Registry, model chip.Model, side Side, chan
 	stick := chip.RZUSBStick()
 	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
 	if err != nil {
-		return err
+		return "", err
 	}
 	zigbeePHY.Obs = reg
 
@@ -268,97 +334,91 @@ func runChannel(cfg Config, reg *obs.Registry, model chip.Model, side Side, chan
 		}
 	}
 	if err != nil {
-		return err
+		return "", err
 	}
 
 	rnd := medium.Rand()
 	freq, err := ieee802154.ChannelFrequencyMHz(channel)
 	if err != nil {
-		return err
+		return "", err
 	}
 
-	{
-		for i := 0; i < cfg.FramesPerChannel; i++ {
-			// The paper's frames carry a counter incremented with
-			// each frame.
-			counter := uint16(i)
-			frame := ieee802154.NewDataFrame(uint8(i), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
-				zigbee.DefaultSensor, zigbee.SensorPayload(counter), false)
-			psdu, err := frame.Encode()
-			if err != nil {
-				return err
-			}
-			ppdu, err := ieee802154.NewPPDU(psdu)
-			if err != nil {
-				return err
-			}
+	// The paper's frames carry a counter incremented with each frame.
+	counter := uint16(frame)
+	frameHdr := ieee802154.NewDataFrame(uint8(frame), zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+		zigbee.DefaultSensor, zigbee.SensorPayload(counter), false)
+	psdu, err := frameHdr.Encode()
+	if err != nil {
+		return "", err
+	}
+	ppdu, err := ieee802154.NewPPDU(psdu)
+	if err != nil {
+		return "", err
+	}
 
-			var sig dsp.IQ
-			var rxNF, rxRej, txPPM, rxPPM float64
-			switch side {
-			case Reception:
-				sig, err = zigbeePHY.Modulate(ppdu)
-				rxNF = model.NoiseFigureDB
-				rxRej = model.InterferenceRejectionDB
-				txPPM, rxPPM = stick.CrystalPPM, model.CrystalPPM
-			case Transmission:
-				sig, err = wazaTX.Modulate(ppdu)
-				rxNF = stick.NoiseFigureDB
-				rxRej = stick.InterferenceRejectionDB
-				txPPM, rxPPM = model.CrystalPPM, stick.CrystalPPM
-			}
-			if err != nil {
-				return err
-			}
+	var sig dsp.IQ
+	var rxNF, rxRej, txPPM, rxPPM float64
+	switch side {
+	case Reception:
+		sig, err = zigbeePHY.Modulate(ppdu)
+		rxNF = model.NoiseFigureDB
+		rxRej = model.InterferenceRejectionDB
+		txPPM, rxPPM = stick.CrystalPPM, model.CrystalPPM
+	case Transmission:
+		sig, err = wazaTX.Modulate(ppdu)
+		rxNF = stick.NoiseFigureDB
+		rxRej = stick.InterferenceRejectionDB
+		txPPM, rxPPM = model.CrystalPPM, stick.CrystalPPM
+	}
+	if err != nil {
+		return "", err
+	}
 
-			cfoHz := (rnd.Float64()*2 - 1) * (txPPM + rxPPM) * freq // 1 ppm at f MHz = f Hz
-			link := radio.Link{
-				SNRdB:                   cfg.SNRdB - rxNF,
-				CFOHz:                   cfoHz,
-				LeadSamples:             40 * cfg.SamplesPerChip,
-				LagSamples:              20 * cfg.SamplesPerChip,
-				InterferenceRejectionDB: rxRej,
-			}
-			capture, err := medium.Deliver(sig, freq, freq, link)
-			if err != nil {
-				return err
-			}
+	cfoHz := (rnd.Float64()*2 - 1) * (txPPM + rxPPM) * freq // 1 ppm at f MHz = f Hz
+	link := radio.Link{
+		SNRdB:                   cfg.SNRdB - rxNF,
+		CFOHz:                   cfoHz,
+		LeadSamples:             40 * cfg.SamplesPerChip,
+		LagSamples:              20 * cfg.SamplesPerChip,
+		InterferenceRejectionDB: rxRej,
+	}
+	capture, err := medium.Deliver(sig, freq, freq, link)
+	if err != nil {
+		return "", err
+	}
 
-			var psduRx []byte
-			var st *oblink.Stats
-			switch side {
-			case Reception:
-				dem, stats, rerr := wazaRX.ReceiveStats(capture)
-				st = stats
-				if rerr != nil {
-					err = rerr
-				} else {
-					psduRx = dem.PPDU.PSDU
-				}
-			case Transmission:
-				dem, stats, rerr := zigbeePHY.DemodulateStats(capture)
-				st = stats
-				if rerr != nil {
-					err = rerr
-				} else {
-					psduRx = dem.PPDU.PSDU
-				}
-			}
-			if cfg.Link != nil {
-				cfg.Link.Observe(channel, st)
-			}
-
-			switch {
-			case errors.Is(err, ieee802154.ErrNoSync):
-				notReceived.Inc()
-			case err != nil:
-				return err
-			case bitstream.CheckFCS(psduRx) && bytes.Equal(psduRx, psdu):
-				valid.Inc()
-			default:
-				corrupted.Inc()
-			}
+	var psduRx []byte
+	var st *oblink.Stats
+	switch side {
+	case Reception:
+		dem, stats, rerr := wazaRX.ReceiveStats(capture)
+		st = stats
+		if rerr != nil {
+			err = rerr
+		} else {
+			psduRx = dem.PPDU.PSDU
+		}
+	case Transmission:
+		dem, stats, rerr := zigbeePHY.DemodulateStats(capture)
+		st = stats
+		if rerr != nil {
+			err = rerr
+		} else {
+			psduRx = dem.PPDU.PSDU
 		}
 	}
-	return nil
+	if cfg.Link != nil {
+		cfg.Link.Observe(channel, st)
+	}
+
+	switch {
+	case errors.Is(err, ieee802154.ErrNoSync):
+		return "not_received", nil
+	case err != nil:
+		return "", err
+	case bitstream.CheckFCS(psduRx) && bytes.Equal(psduRx, psdu):
+		return "valid", nil
+	default:
+		return "corrupted", nil
+	}
 }

@@ -170,42 +170,66 @@ type PairScore struct {
 	Score    float64
 }
 
-// SurveyAgainstOQPSK scores a catalogue of GFSK-family radios against
-// the 802.15.4 target, reproducing the paper's qualitative statements:
-// LE 2M with index ≈ 0.5 is pivotable, LE 1M and off-index radios are
-// not (or much less so).
+// CatalogueEntry describes one GFSK-family radio of the pivotability
+// catalogue in terms independent of the oversampling factor: the symbol
+// period is PeriodFactor × samplesPerSymbol.
+type CatalogueEntry struct {
+	Name         string
+	Mode         ble.Mode
+	PeriodFactor int
+	ModIndex     float64
+	BT           float64
+}
+
+// Catalogue returns the GFSK-family radios the pivotability survey
+// scores against the 802.15.4 target: the MSK ideal, the BLE LE 2M
+// variants across the specification's 0.45..0.55 modulation-index band,
+// the deviation pathologies, and the LE 1M rate mismatch.
+func Catalogue() []CatalogueEntry {
+	return []CatalogueEntry{
+		{Name: "MSK 2M (ideal)", Mode: ble.LE2M, PeriodFactor: 1, ModIndex: 0.5, BT: 0},
+		{Name: "BLE LE 2M GFSK (m=0.5, BT=0.5)", Mode: ble.LE2M, PeriodFactor: 1, ModIndex: 0.5, BT: 0.5},
+		{Name: "BLE LE 2M GFSK (m=0.45)", Mode: ble.LE2M, PeriodFactor: 1, ModIndex: 0.45, BT: 0.5},
+		{Name: "BLE LE 2M GFSK (m=0.55)", Mode: ble.LE2M, PeriodFactor: 1, ModIndex: 0.55, BT: 0.5},
+		{Name: "GFSK m=0.25 (half deviation)", Mode: ble.LE2M, PeriodFactor: 1, ModIndex: 0.25, BT: 0.5},
+		{Name: "GFSK m=1.0 (double deviation)", Mode: ble.LE2M, PeriodFactor: 1, ModIndex: 1.0, BT: 0.5},
+		{Name: "BLE LE 1M GFSK (rate mismatch)", Mode: ble.LE1M, PeriodFactor: 2, ModIndex: 0.5, BT: 0.5},
+	}
+}
+
+// ScoreEntry scores one catalogue entry against a target at the given
+// oversampling: one random representative burst drawn from seed. The
+// same (entry, samplesPerSymbol, seed) always yields the same score, so
+// Monte-Carlo surveys can shard trials freely.
+func ScoreEntry(e CatalogueEntry, tgt Target, samplesPerSymbol int, seed int64) (PairScore, error) {
+	em, err := GFSKEmulator(e.Name, e.Mode, e.PeriodFactor*samplesPerSymbol, e.ModIndex, e.BT)
+	if err != nil {
+		return PairScore{}, err
+	}
+	score, err := Similarity(em, tgt, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return PairScore{}, err
+	}
+	return PairScore{Emulator: e.Name, Target: tgt.Name, Score: score}, nil
+}
+
+// SurveyAgainstOQPSK scores the catalogue against the 802.15.4 target
+// on a single representative burst per entry, reproducing the paper's
+// qualitative statements: LE 2M with index ≈ 0.5 is pivotable, LE 1M and
+// off-index radios are not (or much less so). For a many-burst survey
+// with confidence intervals, see experiment.RunPivotScan.
 func SurveyAgainstOQPSK(samplesPerSymbol int, seed int64) ([]PairScore, error) {
 	tgt, err := OQPSKTarget(samplesPerSymbol)
 	if err != nil {
 		return nil, err
 	}
-	type spec struct {
-		name     string
-		mode     ble.Mode
-		period   int
-		modIndex float64
-		bt       float64
-	}
-	specs := []spec{
-		{name: "MSK 2M (ideal)", mode: ble.LE2M, period: samplesPerSymbol, modIndex: 0.5, bt: 0},
-		{name: "BLE LE 2M GFSK (m=0.5, BT=0.5)", mode: ble.LE2M, period: samplesPerSymbol, modIndex: 0.5, bt: 0.5},
-		{name: "BLE LE 2M GFSK (m=0.45)", mode: ble.LE2M, period: samplesPerSymbol, modIndex: 0.45, bt: 0.5},
-		{name: "BLE LE 2M GFSK (m=0.55)", mode: ble.LE2M, period: samplesPerSymbol, modIndex: 0.55, bt: 0.5},
-		{name: "GFSK m=0.25 (half deviation)", mode: ble.LE2M, period: samplesPerSymbol, modIndex: 0.25, bt: 0.5},
-		{name: "GFSK m=1.0 (double deviation)", mode: ble.LE2M, period: samplesPerSymbol, modIndex: 1.0, bt: 0.5},
-		{name: "BLE LE 1M GFSK (rate mismatch)", mode: ble.LE1M, period: 2 * samplesPerSymbol, modIndex: 0.5, bt: 0.5},
-	}
-	out := make([]PairScore, 0, len(specs))
-	for _, s := range specs {
-		em, err := GFSKEmulator(s.name, s.mode, s.period, s.modIndex, s.bt)
+	out := make([]PairScore, 0, len(Catalogue()))
+	for _, e := range Catalogue() {
+		ps, err := ScoreEntry(e, tgt, samplesPerSymbol, seed)
 		if err != nil {
 			return nil, err
 		}
-		score, err := Similarity(em, tgt, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PairScore{Emulator: s.name, Target: tgt.Name, Score: score})
+		out = append(out, ps)
 	}
 	return out, nil
 }

@@ -15,6 +15,7 @@
 package wazabee
 
 import (
+	"context"
 	"time"
 
 	"wazabee/internal/attack"
@@ -25,6 +26,7 @@ import (
 	"wazabee/internal/dsp"
 	"wazabee/internal/dsp/stream"
 	"wazabee/internal/experiment"
+	"wazabee/internal/experiment/runner"
 	"wazabee/internal/ids"
 	"wazabee/internal/ieee802154"
 	"wazabee/internal/modsim"
@@ -155,9 +157,24 @@ func RunExperiment(cfg ExperimentConfig, model Chip, side Side) (*ExperimentResu
 	return experiment.Run(cfg, model, side)
 }
 
+// RunExperimentContext is RunExperiment with cancellation: the run
+// executes on the sharded Monte-Carlo engine, honors ctx between
+// trials, and — with cfg.Checkpoint set — persists completed shards so
+// an identical invocation resumes bit-identically.
+func RunExperimentContext(ctx context.Context, cfg ExperimentConfig, model Chip, side Side) (*ExperimentResult, error) {
+	return experiment.RunContext(ctx, cfg, model, side)
+}
+
 // FormatExperiment renders a result next to the published Table III.
 func FormatExperiment(r *ExperimentResult) string {
 	return experiment.FormatComparison(r)
+}
+
+// WilsonInterval returns the 95% Wilson score interval for a rate
+// estimated from count successes in trials attempts — the interval
+// every experiment result in this package reports.
+func WilsonInterval(count, trials int) (lo, hi float64) {
+	return runner.Wilson(count, trials)
 }
 
 // Attack scenarios.
