@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race racestream racerunner determinism bench fuzz smoke ci
+.PHONY: build vet test race racestream racerunner determinism bench fuzz smoke smoke-health ci
 
 build:
 	$(GO) build ./...
@@ -56,4 +56,11 @@ determinism:
 smoke:
 	$(GO) run ./cmd/wazabee link -frames 5
 
-ci: vet build test race racestream racerunner determinism fuzz smoke
+# End-to-end health smoke: boot wazabeed, wait for /readyz to go 200,
+# assert the flight recorder is non-empty, then check the daemon shuts
+# down cleanly on SIGTERM.
+SMOKE_HEALTH_ADDR ?= 127.0.0.1:19753
+smoke-health:
+	./scripts/smoke-health.sh "$(SMOKE_HEALTH_ADDR)"
+
+ci: vet build test race racestream racerunner determinism fuzz smoke smoke-health

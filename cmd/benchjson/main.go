@@ -24,6 +24,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wazabee/internal/obs"
 )
 
 // Result aggregates every run of one benchmark.
@@ -172,6 +174,7 @@ func run(inPath, outPath string) error {
 }
 
 func main() {
+	obs.RegisterBuildInfo(nil)
 	inPath := flag.String("in", "-", "bench output file (- for stdin)")
 	outPath := flag.String("out", "-", "JSON report path (- for stdout)")
 	flag.Parse()

@@ -15,9 +15,11 @@ import (
 
 	"wazabee/internal/chip"
 	"wazabee/internal/experiment"
+	"wazabee/internal/obs"
 )
 
 func main() {
+	obs.RegisterBuildInfo(nil)
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "persweep:", err)
 		os.Exit(1)

@@ -19,9 +19,11 @@ import (
 
 	"wazabee/internal/experiment"
 	"wazabee/internal/modsim"
+	"wazabee/internal/obs"
 )
 
 func main() {
+	obs.RegisterBuildInfo(nil)
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "pivotscan:", err)
 		os.Exit(1)

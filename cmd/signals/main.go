@@ -17,11 +17,13 @@ import (
 	"wazabee/internal/core"
 	"wazabee/internal/dsp"
 	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
 )
 
 const sps = 32 // high oversampling for smooth plots
 
 func main() {
+	obs.RegisterBuildInfo(nil)
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "signals:", err)
 		os.Exit(1)

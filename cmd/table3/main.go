@@ -31,6 +31,7 @@ import (
 )
 
 func main() {
+	obs.RegisterBuildInfo(nil)
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "table3:", err)
 		os.Exit(1)

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"wazabee/internal/bitstream"
 	"wazabee/internal/chip"
@@ -35,6 +36,7 @@ import (
 )
 
 func main() {
+	obs.RegisterBuildInfo(nil)
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "wazabee:", err)
 		os.Exit(1)
@@ -194,18 +196,24 @@ func linkReport(args []string) error {
 		if err != nil {
 			return err
 		}
+		origin := time.Now() // the frame hits the air now
 		capture, err := medium.Deliver(sig, freq, freq,
 			radio.Link{SNRdB: *snr, LeadSamples: 40 * sps, LagSamples: 20 * sps})
 		if err != nil {
 			return err
 		}
-		_, st, _ := rx.ReceiveStats(capture)
+		_, st, _ := rx.ReceiveStatsAt(origin, capture)
 		agg.Observe(*channel, st)
 		fmt.Printf("%-6d %-10s %9.1f %9.1f %10.0f %6.2f %9.4f %5d\n",
 			i, st.Result(), st.RSSIdBFS, st.SNRdB, st.CFOHz, st.SyncCorr, st.ChipErrorRate(), st.LQI)
 	}
 	fmt.Println("\nper-channel aggregate:")
 	fmt.Print(agg.Table())
+	hDemod := obs.LatencyHistogram(reg, "demod", "decoder", "wazabee")
+	if n := hDemod.Count(); n > 0 {
+		fmt.Printf("\ndecode latency (emit→verdict, %d frames): p50 %.3f ms  p99 %.3f ms\n",
+			n, hDemod.Quantile(0.5)*1e3, hDemod.Quantile(0.99)*1e3)
+	}
 	return nil
 }
 

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wazabee/internal/capture"
+	"wazabee/internal/zigbee"
+)
+
+// healthConfig is the minimal daemon shape for the health tests: live
+// pipeline, one TCP listener (the flip target), metrics server, no
+// pcap, no ZEP.
+func healthConfig() config {
+	return config{
+		seed:        7,
+		sps:         8,
+		snrDB:       25,
+		interval:    10 * time.Millisecond,
+		channel:     zigbee.DefaultChannel,
+		periods:     0,
+		listenTCP:   "127.0.0.1:0",
+		metricsAddr: "127.0.0.1:0",
+		deviceID:    0x5742,
+		queueDepth:  64,
+		logLevel:    "error",
+	}
+}
+
+type healthBody struct {
+	Status        string  `json:"status"`
+	Ready         bool    `json:"ready"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Components    []struct {
+		Name     string `json:"name"`
+		Status   string `json:"status"`
+		Critical bool   `json:"critical"`
+	} `json:"components"`
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: not JSON (%v): %s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitFirstRecord blocks until the daemon has published at least one
+// record, so the endpoints are exercised on a warmed-up pipeline. The
+// subscriber connection stays open (closed via t.Cleanup) so the
+// shutdown table still has a live subscription to report.
+func waitFirstRecord(t *testing.T, d *daemon) {
+	t.Helper()
+	conn, err := net.Dial("tcp", d.tcpAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := capture.ReadRecord(conn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonHealthEndpoints checks the healthy steady state: /healthz
+// and /readyz answer 200 with the component roster, /debug/flight has
+// recorded the pipeline's frame events, and the dedicated -health-addr
+// listener serves the same probe set without the metrics handlers.
+func TestDaemonHealthEndpoints(t *testing.T) {
+	cfg := healthConfig()
+	cfg.healthAddr = "127.0.0.1:0"
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.healthAddr() == "" {
+		t.Fatal("health listener not bound")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.run(ctx, &out) }()
+	waitFirstRecord(t, d)
+
+	for _, base := range []string{d.metricsAddr(), d.healthAddr()} {
+		for _, path := range []string{"/healthz", "/readyz"} {
+			var body healthBody
+			if code := getJSON(t, "http://"+base+path, &body); code != 200 {
+				t.Fatalf("%s on %s: status %d", path, base, code)
+			}
+			if !body.Ready || body.Status != "ok" {
+				t.Fatalf("%s on %s: %+v, want ready ok", path, base, body)
+			}
+			if body.UptimeSeconds <= 0 {
+				t.Errorf("%s reports zero uptime", path)
+			}
+			got := make(map[string]string)
+			for _, c := range body.Components {
+				got[c.Name] = c.Status
+			}
+			for _, name := range []string{"live", "hub", "rxstream", "tcp"} {
+				if got[name] != "ok" {
+					t.Errorf("component %q = %q on %s, want ok (have %v)", name, got[name], base, got)
+				}
+			}
+		}
+
+		var flight struct {
+			Recorded uint64 `json:"recorded"`
+			Events   []struct {
+				Kind  string `json:"kind"`
+				Frame int64  `json:"frame"`
+			} `json:"events"`
+		}
+		if code := getJSON(t, "http://"+base+"/debug/flight", &flight); code != 200 {
+			t.Fatalf("/debug/flight on %s: status %d", base, code)
+		}
+		if flight.Recorded == 0 || len(flight.Events) == 0 {
+			t.Fatalf("/debug/flight on %s is empty after records flowed", base)
+		}
+		frames := 0
+		for _, ev := range flight.Events {
+			if ev.Kind == "frame" {
+				frames++
+			}
+		}
+		if frames == 0 {
+			t.Errorf("flight recorder on %s has no frame events: %+v", base, flight.Events)
+		}
+	}
+
+	// The dedicated probe listener must NOT expose the debug surface.
+	resp, err := http.Get("http://" + d.healthAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/metrics on the health listener: status %d, want 404", resp.StatusCode)
+	}
+
+	// Live latency SLO evidence: the e2e deliver stage must be in
+	// /metrics with per-subscriber labels.
+	mresp, err := http.Get("http://" + d.metricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`wazabee_latency_seconds_count{stage="publish"}`,
+		`stage="deliver"`,
+		`stage="queue"`,
+		`stage="demod"`,
+		"wazabee_build_info{",
+		"wazabee_uptime_seconds",
+		"wazabee_runtime_goroutines",
+		"wazabee_health_ready 1",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	for _, want := range []string{"wazabeed: subscribers:", "max queue", "flight recorder:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("shutdown output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDaemonReadyzFlip kills the TCP accept loop mid-run and checks
+// /readyz degrades to 503 within one probe period while /healthz stays
+// 200 — the liveness/readiness split a supervisor depends on.
+func TestDaemonReadyzFlip(t *testing.T) {
+	d, err := newDaemon(healthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.probeEvery = 20 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.run(ctx, &out) }()
+	waitFirstRecord(t, d)
+
+	var body healthBody
+	if code := getJSON(t, "http://"+d.metricsAddr()+"/readyz", &body); code != 200 {
+		t.Fatalf("initial /readyz: %d (%+v)", code, body)
+	}
+
+	// Kill the accept loop out from under the daemon.
+	d.tcpLn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code := getJSON(t, "http://"+d.metricsAddr()+"/readyz", &body)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz still %d after the TCP listener died: %+v", code, body)
+		}
+		time.Sleep(d.probeEvery)
+	}
+	if body.Ready {
+		t.Fatalf("503 body claims ready: %+v", body)
+	}
+	tcpDown := false
+	for _, c := range body.Components {
+		if c.Name == "tcp" && c.Status == "down" && c.Critical {
+			tcpDown = true
+		}
+	}
+	if !tcpDown {
+		t.Fatalf("tcp component not reported down: %+v", body.Components)
+	}
+
+	// Liveness must survive the readiness failure.
+	if code := getJSON(t, "http://"+d.metricsAddr()+"/healthz", &body); code != 200 {
+		t.Fatalf("/healthz: %d after readiness loss", code)
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

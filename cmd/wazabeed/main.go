@@ -51,6 +51,7 @@ type config struct {
 	listenTCP    string
 	listenZEP    string
 	metricsAddr  string
+	healthAddr   string
 	deviceID     uint
 	queueDepth   int
 	logLevel     string
@@ -109,7 +110,8 @@ func registerFlags(flag *flag.FlagSet, cfg *config) {
 	flag.Int64Var(&cfg.pcapMaxBytes, "pcap-max-bytes", 16<<20, "rotate the pcap file beyond this size (0 = never)")
 	flag.StringVar(&cfg.listenTCP, "listen", ":7754", "serve length-prefixed records to TCP subscribers here (empty disables)")
 	flag.StringVar(&cfg.listenZEP, "zep-listen", "", "serve ZEP v2 datagrams to UDP subscribers here, e.g. :17754 (empty disables)")
-	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics and net/http/pprof on this address (empty disables)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/flight and net/http/pprof on this address (empty disables)")
+	flag.StringVar(&cfg.healthAddr, "health-addr", "", "additionally serve only /healthz, /readyz and /debug/flight on this dedicated address, for probes that must not reach pprof (empty disables; the endpoints stay on -metrics-addr either way)")
 	flag.UintVar(&cfg.deviceID, "zep-device", 0x5742, "ZEP device id stamped on outgoing datagrams")
 	flag.IntVar(&cfg.queueDepth, "queue", 256, "per-subscriber bounded queue depth")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log threshold: debug, info, warn or error")
@@ -119,14 +121,22 @@ func registerFlags(flag *flag.FlagSet, cfg *config) {
 // newDaemon so tests (and operators using port 0) can learn the chosen
 // addresses before the pipeline starts.
 type daemon struct {
-	cfg  config
-	hub  *capture.Hub
-	log  *obs.Logger
-	link *link.Aggregator
+	cfg    config
+	hub    *capture.Hub
+	log    *obs.Logger
+	link   *link.Aggregator
+	health *obs.Health
+	flight *obs.Flight
+
+	// probeEvery is the background health re-evaluation period; the
+	// endpoints themselves probe on every request regardless. Tests
+	// shorten it.
+	probeEvery time.Duration
 
 	tcpLn     net.Listener
 	zepPC     net.PacketConn
 	metricsLn net.Listener
+	healthLn  net.Listener
 	pcap      *capture.RotatingPCAP
 }
 
@@ -135,12 +145,16 @@ func newDaemon(cfg config) (*daemon, error) {
 		return nil, fmt.Errorf("wazabeed: queue depth %d < 1", cfg.queueDepth)
 	}
 	d := &daemon{
-		cfg:  cfg,
-		hub:  capture.NewHub(nil),
-		log:  obs.DefaultLogger(),
-		link: link.NewAggregator(nil),
+		cfg:        cfg,
+		hub:        capture.NewHub(nil),
+		log:        obs.DefaultLogger(),
+		link:       link.NewAggregator(nil),
+		health:     obs.NewHealth(nil),
+		flight:     obs.DefaultFlight(),
+		probeEvery: time.Second,
 	}
 	d.hub.Log = d.log
+	d.hub.Flight = d.flight
 	if cfg.listenTCP != "" {
 		ln, err := net.Listen("tcp", cfg.listenTCP)
 		if err != nil {
@@ -161,6 +175,13 @@ func newDaemon(cfg config) (*daemon, error) {
 			return nil, fmt.Errorf("wazabeed: metrics listener: %w", err)
 		}
 		d.metricsLn = ln
+	}
+	if cfg.healthAddr != "" {
+		ln, err := net.Listen("tcp", cfg.healthAddr)
+		if err != nil {
+			return nil, fmt.Errorf("wazabeed: health listener: %w", err)
+		}
+		d.healthLn = ln
 	}
 	if cfg.pcapPath != "" {
 		pcap, err := capture.OpenRotatingPCAP(cfg.pcapPath, cfg.pcapMaxBytes, nil)
@@ -197,6 +218,26 @@ func (d *daemon) metricsAddr() string {
 	return d.metricsLn.Addr().String()
 }
 
+// healthAddr returns the bound dedicated health address, or "" when
+// disabled.
+func (d *daemon) healthAddr() string {
+	if d.healthLn == nil {
+		return ""
+	}
+	return d.healthLn.Addr().String()
+}
+
+// healthMux routes the probe-safe endpoint set: health, readiness and
+// the flight recorder, with nothing that can block or leak (no pprof,
+// no log tail).
+func (d *daemon) healthMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", d.health.Healthz())
+	mux.Handle("/readyz", d.health.Readyz())
+	mux.Handle("/debug/flight", d.flight)
+	return mux
+}
+
 func (d *daemon) run(ctx context.Context, out io.Writer) error {
 	cfg := d.cfg
 	network, err := wazabee.NewVictimNetwork(cfg.seed, cfg.sps, cfg.snrDB)
@@ -219,10 +260,42 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 		return err
 	}
 
+	// Observability: build-info and uptime gauges, the runtime sampler,
+	// the health registry with one component per moving part, and a
+	// SIGQUIT handler that dumps the flight recorder without stopping
+	// the daemon (the classic "what just happened" escape hatch).
+	obs.RegisterBuildInfo(nil)
+	obs.StartRuntimeSampler(ctx, nil, 0)
+	d.health.Register("live", true, live.Err)
+	d.health.Register("hub", true, nil).SetOK()
+	hcPipeline := d.health.Register("rxstream", true, nil)
+	hcPipeline.SetOK()
+	go d.health.Run(ctx, d.probeEvery)
+
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-sigq:
+				fmt.Fprintln(out, "wazabeed: SIGQUIT — flight recorder dump:")
+				d.flight.Dump(out)
+			}
+		}
+	}()
+
 	var consumers sync.WaitGroup
 
-	// Consumer: the rotating pcap tee.
+	// Consumer: the rotating pcap tee. A write error degrades the pcap
+	// health component and is surfaced as a warn event, but the tee keeps
+	// consuming: one full disk must not silently end the capture trail
+	// for every later record that would have fit after rotation.
 	if d.pcap != nil {
+		hcPcap := d.health.Register("pcap", false, nil)
+		hcPcap.SetOK()
 		sub, err := d.hub.Subscribe("pcap", cfg.queueDepth)
 		if err != nil {
 			return err
@@ -236,9 +309,16 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 					return
 				}
 				if err := d.pcap.WriteRecord(rec); err != nil {
-					fmt.Fprintln(out, "wazabeed: pcap:", err)
-					return
+					d.log.Warn("pcap", "write failed",
+						"path", cfg.pcapPath, "seq", rec.Seq, "err", err.Error())
+					hcPcap.SetDegraded(fmt.Sprintf("write %s: %v", cfg.pcapPath, err))
+					d.flight.Record(obs.FlightEvent{
+						Kind: "error", Component: "pcap", Frame: int64(rec.Seq),
+						Detail: err.Error(),
+					})
+					continue
 				}
+				hcPcap.SetOK()
 			}
 		}()
 		defer d.pcap.Close()
@@ -246,10 +326,12 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 
 	// Consumers: one per accepted TCP connection.
 	if d.tcpLn != nil {
+		hcTCP := d.health.Register("tcp", true, nil)
+		hcTCP.SetOK()
 		consumers.Add(1)
 		go func() {
 			defer consumers.Done()
-			d.serveTCP()
+			d.serveTCP(hcTCP)
 		}()
 		defer d.tcpLn.Close()
 		fmt.Fprintf(out, "wazabeed: serving records on tcp %s\n", d.tcpAddr())
@@ -257,17 +339,19 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 
 	// Consumer: the ZEP/UDP fan-out.
 	if d.zepPC != nil {
+		hcZEP := d.health.Register("zep", true, nil)
+		hcZEP.SetOK()
 		consumers.Add(1)
 		go func() {
 			defer consumers.Done()
-			d.serveZEP()
+			d.serveZEP(hcZEP)
 		}()
 		defer d.zepPC.Close()
 		fmt.Fprintf(out, "wazabeed: serving ZEP v2 on udp %s\n", d.zepAddr())
 	}
 
 	if d.metricsLn != nil {
-		mux := http.NewServeMux()
+		mux := d.healthMux()
 		mux.Handle("/metrics", obs.Default())
 		mux.Handle("/debug/link", d.link)
 		mux.Handle("/logz", d.log)
@@ -279,7 +363,18 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 			}
 		}()
 		defer srv.Close()
-		fmt.Fprintf(out, "wazabeed: serving /metrics, /debug/link, /logz and /debug/pprof on %s\n", d.metricsAddr())
+		fmt.Fprintf(out, "wazabeed: serving /metrics, /healthz, /readyz, /debug/flight, /debug/link, /logz and /debug/pprof on %s\n", d.metricsAddr())
+	}
+
+	if d.healthLn != nil {
+		srv := &http.Server{Handler: d.healthMux()}
+		go func() {
+			if err := srv.Serve(d.healthLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				d.log.Error("daemon", "health server failed", "err", err.Error())
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(out, "wazabeed: serving /healthz, /readyz and /debug/flight on %s\n", d.healthAddr())
 	}
 
 	// Producer: decode live periods and publish them to the hub until
@@ -302,7 +397,15 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 		d.log.Debug("daemon", "period received",
 			"seq", c.Seq, "result", st.Result(), "lqi", st.LQI,
 			"snr_db", st.SNRdB, "cfo_hz", st.CFOHz)
+		ev := obs.FlightEvent{
+			Kind: "frame", Component: "rx", Frame: int64(c.Seq), Detail: st.Result(),
+		}
+		if !c.Origin.IsZero() {
+			ev.Latency = time.Since(c.Origin)
+		}
+		d.flight.Record(ev)
 		rec := capture.NewStatsRecord(c.At, c.Channel, c.Seq, c.IQ, dem, st, c.LinkSNRdB)
+		rec.Origin = c.Origin
 		d.hub.Publish(rec)
 		published++
 		reg.Gauge("wazabee_capture_daemon_periods").Set(float64(published))
@@ -312,6 +415,10 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 	}
 	streamEnded := func() {
 		if err := live.Err(); err != nil {
+			hcPipeline.SetDown(err.Error())
+			d.flight.Record(obs.FlightEvent{
+				Kind: "error", Component: "live", Frame: -1, Detail: err.Error(),
+			})
 			d.log.Error("daemon", "capture stream ended", "err", err.Error())
 			fmt.Fprintln(out, "wazabeed: capture stream ended:", err)
 		}
@@ -345,6 +452,7 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 				if cc.Offset == 0 {
 					cur = cc.Capture
 					captureIQ = captureIQ[:0]
+					rxs.SetOrigin(cc.Capture.Origin)
 				}
 				captureIQ = append(captureIQ, cc.IQ...)
 				rxs.Push(cc.IQ)
@@ -370,14 +478,16 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 					streamEnded()
 					break producer
 				}
-				dem, st, err := rx.ReceiveStats(c.IQ)
+				dem, st, err := rx.ReceiveStatsAt(c.Origin, c.IQ)
 				finish(c, dem, st, err)
 			}
 		}
 	}
 
-	// Shut down: end the stream, let subscribers drain, close
+	// Shut down: snapshot the subscriber accounting while the subs are
+	// still registered, end the stream, let subscribers drain, close
 	// listeners so their accept/read loops unblock.
+	subSnaps := d.hub.Snapshot()
 	d.hub.Close()
 	if d.tcpLn != nil {
 		d.tcpLn.Close()
@@ -392,6 +502,16 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 	if table := d.link.Table(); table != "" {
 		fmt.Fprintf(out, "wazabeed: link quality by channel:\n%s", table)
 	}
+	if len(subSnaps) > 0 {
+		fmt.Fprintf(out, "wazabeed: subscribers:\n")
+		fmt.Fprintf(out, "  %-24s %9s %9s %7s %9s\n", "subscriber", "offered", "delivered", "dropped", "max queue")
+		for _, s := range subSnaps {
+			fmt.Fprintf(out, "  %-24s %9d %9d %7d %9d\n",
+				s.Name, s.Offered, s.Delivered, s.Dropped, s.MaxQueueDepth)
+		}
+	}
+	fmt.Fprintf(out, "wazabeed: flight recorder: %d events (%s)\n",
+		d.flight.Recorded(), d.flight.Summary())
 	if d.pcap != nil {
 		fmt.Fprintf(out, "wazabeed: pcap capture at %s (%d packets) — open with: wireshark %s\n",
 			cfg.pcapPath, d.pcap.Packets(), cfg.pcapPath)
@@ -401,13 +521,17 @@ func (d *daemon) run(ctx context.Context, out io.Writer) error {
 
 // serveTCP accepts subscribers and streams them length-prefixed
 // records; each connection gets its own bounded hub subscription, so a
-// stalled client only drops its own records.
-func (d *daemon) serveTCP() {
+// stalled client only drops its own records. The health component goes
+// Down the moment the accept loop exits — before draining the live
+// connections, whose subscribers may legitimately stay connected for a
+// long tail — so readiness flips as soon as new subscribers are refused.
+func (d *daemon) serveTCP(hc *obs.HealthComponent) {
 	var conns sync.WaitGroup
 	defer conns.Wait()
 	for {
 		conn, err := d.tcpLn.Accept()
 		if err != nil {
+			hc.SetDown("accept loop exited: " + err.Error())
 			return // listener closed on shutdown
 		}
 		name := "tcp:" + conn.RemoteAddr().String()
@@ -436,7 +560,9 @@ func (d *daemon) serveTCP() {
 
 // serveZEP tracks UDP subscribers (any inbound datagram subscribes its
 // source address) and pushes each captured frame as one ZEP v2 packet.
-func (d *daemon) serveZEP() {
+// The health component goes Down when the registration socket dies —
+// existing collectors keep receiving, but new ones can no longer join.
+func (d *daemon) serveZEP(hc *obs.HealthComponent) {
 	reg := obs.Default()
 	var mu sync.Mutex
 	peers := make(map[string]net.Addr)
@@ -447,6 +573,7 @@ func (d *daemon) serveZEP() {
 		for {
 			_, addr, err := d.zepPC.ReadFrom(buf)
 			if err != nil {
+				hc.SetDown("registration socket closed: " + err.Error())
 				return // socket closed on shutdown
 			}
 			mu.Lock()

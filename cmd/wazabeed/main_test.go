@@ -246,13 +246,13 @@ func TestDaemonDebugEndpoints(t *testing.T) {
 // the streaming pipeline recycling its buffers.
 func TestDaemonChunkedSmoke(t *testing.T) {
 	cfg := config{
-		seed:        7,
-		sps:         8,
-		snrDB:       25,
-		interval:    10 * time.Millisecond,
-		channel:     zigbee.DefaultChannel,
-		chunk:       1024,
-		periods:     0, // run until cancelled, so /metrics stays up
+		seed:     7,
+		sps:      8,
+		snrDB:    25,
+		interval: 10 * time.Millisecond,
+		channel:  zigbee.DefaultChannel,
+		chunk:    1024,
+		periods:  0, // run until cancelled, so /metrics stays up
 
 		listenTCP:   "127.0.0.1:0",
 		metricsAddr: "127.0.0.1:0",

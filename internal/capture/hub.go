@@ -2,7 +2,9 @@ package capture
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"wazabee/internal/obs"
 )
@@ -27,11 +29,17 @@ type Hub struct {
 	reg        *obs.Registry
 	cPublished *obs.Counter
 	gSubs      *obs.Gauge
+	hPublish   *obs.Histogram // wazabee_latency_seconds{stage="publish"}
 
 	// Log receives subscriber lifecycle events (subscribe, unsubscribe,
 	// stream end); nil falls back to the process default logger. Set it
 	// before the first Subscribe.
 	Log *obs.Logger
+
+	// Flight receives the hub's flight-recorder events (subscriber
+	// lifecycle, per-frame drops); nil falls back to the process default
+	// recorder. Set it before the first Subscribe.
+	Flight *obs.Flight
 
 	mu        sync.Mutex
 	subs      map[*Subscription]struct{}
@@ -47,6 +55,7 @@ func NewHub(reg *obs.Registry) *Hub {
 		reg:        r,
 		cPublished: r.Counter("wazabee_capture_published_total"),
 		gSubs:      r.Gauge("wazabee_capture_subscribers"),
+		hPublish:   obs.LatencyHistogram(r, "publish"),
 		subs:       make(map[*Subscription]struct{}),
 	}
 }
@@ -61,10 +70,14 @@ func (h *Hub) Subscribe(name string, depth int) (*Subscription, error) {
 		hub:        h,
 		name:       name,
 		buf:        make([]Record, depth),
+		enq:        make([]time.Time, depth),
+		flight:     obs.OrFlight(h.Flight),
 		cOffered:   h.reg.Counter("wazabee_capture_offered_total", "subscriber", name),
 		cDelivered: h.reg.Counter("wazabee_capture_delivered_total", "subscriber", name),
 		cDropped:   h.reg.Counter("wazabee_capture_dropped_total", "subscriber", name),
 		gDepth:     h.reg.Gauge("wazabee_capture_queue_depth", "subscriber", name),
+		hQueue:     obs.LatencyHistogram(h.reg, "queue", "subscriber", name),
+		hDeliver:   obs.LatencyHistogram(h.reg, "deliver", "subscriber", name),
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -77,14 +90,21 @@ func (h *Hub) Subscribe(name string, depth int) (*Subscription, error) {
 	h.gSubs.Set(float64(len(h.subs)))
 	n := len(h.subs)
 	obs.OrLogger(h.Log).Info("hub", "subscriber joined", "subscriber", name, "depth", depth, "subscribers", n)
+	s.flight.Record(obs.FlightEvent{
+		Kind: "subscribe", Component: "hub", Frame: -1, Subscriber: name,
+		Detail: fmt.Sprintf("depth %d", depth),
+	})
 	return s, nil
 }
 
 // Publish offers one record to every current subscriber and returns how
 // many were offered it. It never blocks on consumers; a full queue
 // drops its oldest record instead. Publishing on a closed hub is a
-// no-op returning zero.
+// no-op returning zero. Records stamped with an Origin observe the
+// emit→publish latency; all records stamp their queue-entry time so
+// per-subscriber queue residency is measured regardless.
 func (h *Hub) Publish(rec Record) int {
+	now := time.Now()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -92,8 +112,11 @@ func (h *Hub) Publish(rec Record) int {
 	}
 	h.published++
 	h.cPublished.Inc()
+	if !rec.Origin.IsZero() {
+		h.hPublish.Observe(obs.DurationSeconds(now.Sub(rec.Origin)))
+	}
 	for s := range h.subs {
-		s.offer(rec)
+		s.offer(rec, now)
 	}
 	return len(h.subs)
 }
@@ -142,6 +165,11 @@ func (h *Hub) remove(s *Subscription) {
 		st := s.Stats()
 		obs.OrLogger(h.Log).Info("hub", "subscriber left",
 			"subscriber", s.name, "delivered", st.Delivered, "dropped", st.Dropped)
+		s.flight.Record(obs.FlightEvent{
+			Kind: "unsubscribe", Component: "hub", Frame: -1, Subscriber: s.name,
+			Detail: fmt.Sprintf("delivered %d, dropped %d, max queue %d",
+				st.Delivered, st.Dropped, st.MaxQueueDepth),
+		})
 	}
 }
 
@@ -156,46 +184,93 @@ type SubStats struct {
 	Dropped uint64
 	// Queued is the current queue depth.
 	Queued int
+	// MaxQueueDepth is the high-water mark the queue ever reached — the
+	// evidence operators size the -queue flag from: a subscriber whose
+	// high-water mark sits well below the configured depth never needed
+	// that much buffer; one pinned at the depth was dropping.
+	MaxQueueDepth int
+}
+
+// SubSnapshot couples a subscriber's name with its accounting, for
+// whole-hub enumerations (the wazabeed shutdown table, health detail).
+type SubSnapshot struct {
+	Name string
+	SubStats
+}
+
+// Snapshot returns the accounting of every currently subscribed
+// consumer, sorted by name. Subscribers that already left are not
+// included (their final stats were logged at departure).
+func (h *Hub) Snapshot() []SubSnapshot {
+	h.mu.Lock()
+	subs := make([]*Subscription, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	out := make([]SubSnapshot, 0, len(subs))
+	for _, s := range subs {
+		out = append(out, SubSnapshot{Name: s.name, SubStats: s.Stats()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Subscription is one consumer's bounded view of a hub's stream.
 type Subscription struct {
-	hub  *Hub
-	name string
+	hub    *Hub
+	name   string
+	flight *obs.Flight
 
 	cOffered   *obs.Counter
 	cDelivered *obs.Counter
 	cDropped   *obs.Counter
 	gDepth     *obs.Gauge
+	hQueue     *obs.Histogram // wazabee_latency_seconds{stage="queue",subscriber}
+	hDeliver   *obs.Histogram // wazabee_latency_seconds{stage="deliver",subscriber}
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []Record // ring buffer, fixed capacity
+	buf    []Record    // ring buffer, fixed capacity
+	enq    []time.Time // per-slot enqueue stamps, parallel to buf
 	head   int
 	n      int
 	closed bool
 
 	offered, delivered, dropped uint64
+	maxDepth                    int
 }
 
 // Name returns the subscriber label.
 func (s *Subscription) Name() string { return s.name }
 
-// offer enqueues a record, evicting the oldest when full (publisher side).
-func (s *Subscription) offer(rec Record) {
+// offer enqueues a record, evicting the oldest when full (publisher
+// side). now is the publish instant, shared across subscribers so one
+// Publish takes one clock reading.
+func (s *Subscription) offer(rec Record, now time.Time) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	if s.n == len(s.buf) {
+		old := s.buf[s.head]
 		s.head = (s.head + 1) % len(s.buf)
 		s.n--
 		s.dropped++
 		s.cDropped.Inc()
+		s.flight.Record(obs.FlightEvent{
+			At: now, Kind: "drop", Component: "hub",
+			Frame: int64(old.Seq), Subscriber: s.name, Detail: "queue full, oldest evicted",
+		})
 	}
-	s.buf[(s.head+s.n)%len(s.buf)] = rec
+	idx := (s.head + s.n) % len(s.buf)
+	s.buf[idx] = rec
+	s.enq[idx] = now
 	s.n++
+	if s.n > s.maxDepth {
+		s.maxDepth = s.n
+	}
 	s.offered++
 	s.cOffered.Inc()
 	s.gDepth.Set(float64(s.n))
@@ -229,9 +304,16 @@ func (s *Subscription) TryRecv() (Record, bool) {
 	return s.pop(), true
 }
 
-// pop removes the head record; callers hold s.mu.
+// pop removes the head record, observing its queue residency and — for
+// origin-stamped records — the end-to-end emit→deliver latency; callers
+// hold s.mu.
 func (s *Subscription) pop() Record {
+	now := time.Now()
 	rec := s.buf[s.head]
+	s.hQueue.Observe(obs.DurationSeconds(now.Sub(s.enq[s.head])))
+	if !rec.Origin.IsZero() {
+		s.hDeliver.Observe(obs.DurationSeconds(now.Sub(rec.Origin)))
+	}
 	s.buf[s.head] = Record{} // release references
 	s.head = (s.head + 1) % len(s.buf)
 	s.n--
@@ -283,5 +365,11 @@ func (s *Subscription) Close() {
 func (s *Subscription) Stats() SubStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SubStats{Offered: s.offered, Delivered: s.delivered, Dropped: s.dropped, Queued: s.n}
+	return SubStats{
+		Offered:       s.offered,
+		Delivered:     s.delivered,
+		Dropped:       s.dropped,
+		Queued:        s.n,
+		MaxQueueDepth: s.maxDepth,
+	}
 }

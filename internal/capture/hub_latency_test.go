@@ -1,0 +1,148 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"wazabee/internal/obs"
+)
+
+// TestHubMaxQueueDepthHighWater pins the -queue sizing evidence: the
+// high-water mark tracks the deepest the queue ever got, not the
+// current depth, and survives a full drain.
+func TestHubMaxQueueDepthHighWater(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+	sub, err := hub.Subscribe("tcp:1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		hub.Publish(testRecord(i))
+	}
+	if st := sub.Stats(); st.MaxQueueDepth != 5 || st.Queued != 5 {
+		t.Fatalf("after 5 publishes: %+v, want max=5 queued=5", st)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := sub.TryRecv(); !ok {
+			t.Fatalf("drain stalled at %d", i)
+		}
+	}
+	if st := sub.Stats(); st.MaxQueueDepth != 5 || st.Queued != 0 {
+		t.Fatalf("after drain: %+v, want max=5 queued=0", st)
+	}
+	// Refill shallower: the mark must not regress.
+	hub.Publish(testRecord(9))
+	if st := sub.Stats(); st.MaxQueueDepth != 5 {
+		t.Fatalf("high-water regressed: %+v", st)
+	}
+
+	snaps := hub.Snapshot()
+	if len(snaps) != 1 || snaps[0].Name != "tcp:1" || snaps[0].MaxQueueDepth != 5 {
+		t.Fatalf("hub snapshot %+v, want one tcp:1 entry with max 5", snaps)
+	}
+	hub.Close()
+}
+
+// TestHubSnapshotSorted checks Snapshot enumerates live subscribers in
+// name order and omits departed ones.
+func TestHubSnapshotSorted(t *testing.T) {
+	hub := NewHub(obs.NewRegistry())
+	for _, name := range []string{"zep", "pcap", "tcp:7"} {
+		if _, err := hub.Subscribe(name, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := hub.Snapshot()
+	want := []string{"pcap", "tcp:7", "zep"}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Fatalf("snapshot order %v, want %v", got, want)
+		}
+	}
+	hub.Close()
+	if left := hub.Snapshot(); len(left) != 0 {
+		t.Fatalf("closed hub still snapshots %v", left)
+	}
+}
+
+// TestHubLatencyStages checks the hub's three latency stages: publish
+// and deliver observe only origin-stamped records, while queue
+// residency is observed for every pop regardless of stamping.
+func TestHubLatencyStages(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+	sub, err := hub.Subscribe("tcp:1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hPublish := obs.LatencyHistogram(reg, "publish")
+	hQueue := obs.LatencyHistogram(reg, "queue", "subscriber", "tcp:1")
+	hDeliver := obs.LatencyHistogram(reg, "deliver", "subscriber", "tcp:1")
+
+	stamped := testRecord(1)
+	stamped.Origin = time.Now().Add(-time.Millisecond)
+	hub.Publish(stamped)
+	hub.Publish(testRecord(2)) // unstamped: replayed/file traffic
+	for i := 0; i < 2; i++ {
+		if _, ok := sub.TryRecv(); !ok {
+			t.Fatalf("record %d missing", i)
+		}
+	}
+
+	if got := hPublish.Count(); got != 1 {
+		t.Errorf("publish stage observed %d, want 1 (unstamped must skip)", got)
+	}
+	if got := hQueue.Count(); got != 2 {
+		t.Errorf("queue stage observed %d, want 2 (residency is unconditional)", got)
+	}
+	if got := hDeliver.Count(); got != 1 {
+		t.Errorf("deliver stage observed %d, want 1 (unstamped must skip)", got)
+	}
+	if sum := hDeliver.Sum(); sum < 0.001 {
+		t.Errorf("deliver latency sum %.6fs, want >= the 1ms origin offset", sum)
+	}
+	hub.Close()
+}
+
+// TestHubDropFlightEvent checks a drop-oldest eviction lands in the
+// flight recorder with the evicted frame's sequence number, alongside
+// the subscribe lifecycle event.
+func TestHubDropFlightEvent(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewHub(reg)
+	hub.Flight = obs.NewFlight(32)
+	sub, err := hub.Subscribe("slow", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := testRecord(0)
+	first.Seq = 41
+	hub.Publish(first)
+	second := testRecord(1)
+	second.Seq = 42
+	hub.Publish(second) // evicts seq 41
+
+	var drops, subscribes int
+	for _, ev := range hub.Flight.Snapshot() {
+		switch ev.Kind {
+		case "drop":
+			drops++
+			if ev.Frame != 41 || ev.Subscriber != "slow" || ev.Component != "hub" {
+				t.Errorf("drop event %+v, want frame 41 on slow", ev)
+			}
+		case "subscribe":
+			subscribes++
+		}
+	}
+	if drops != 1 || subscribes != 1 {
+		t.Fatalf("flight saw %d drops and %d subscribes, want 1 and 1", drops, subscribes)
+	}
+	if rec, ok := sub.TryRecv(); !ok || rec.Seq != 42 {
+		t.Fatalf("survivor record %+v ok=%v, want seq 42", rec, ok)
+	}
+	hub.Close()
+}

@@ -73,6 +73,14 @@ type Record struct {
 	// decoded from, for in-process consumers such as the IDS that work
 	// below the frame level. It is never serialised by any encoder.
 	IQ dsp.IQ
+
+	// Origin is the monotonic emission stamp of the capture this record
+	// came from (zigbee.Capture.Origin), anchoring the per-stage
+	// wazabee_latency_* histograms the hub and its subscriptions
+	// observe. In-memory only — never serialised by any encoder — and
+	// zero for records that were not produced live (file reads, replay),
+	// which skips the origin-anchored latency stages.
+	Origin time.Time
 }
 
 // Clone returns a record with its own copy of the PSDU (the IQ buffer,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"wazabee/internal/ble"
 	"wazabee/internal/dsp"
@@ -83,8 +84,20 @@ func (r *Receiver) Receive(sig dsp.IQ) (*ieee802154.Demodulated, error) {
 // one-shot implementation. Each call runs on a fresh stream, so
 // concurrent calls on one Receiver remain safe.
 func (r *Receiver) ReceiveStats(sig dsp.IQ) (*ieee802154.Demodulated, *link.Stats, error) {
+	return r.ReceiveStatsAt(time.Time{}, sig)
+}
+
+// ReceiveStatsAt is ReceiveStats for an origin-stamped capture: origin
+// is the capture's monotonic emission time (zigbee.Capture.Origin), and
+// the concluding flush observes the emission→verdict distance into the
+// wazabee_latency_seconds{stage="demod"} histogram. It stamps exactly
+// the stage set a long-lived RxStream with SetOrigin stamps, so
+// whole-capture and chunked deployments report comparable latency
+// families. A zero origin degrades to plain ReceiveStats.
+func (r *Receiver) ReceiveStatsAt(origin time.Time, sig dsp.IQ) (*ieee802154.Demodulated, *link.Stats, error) {
 	s := r.Stream()
 	defer s.Close()
+	s.SetOrigin(origin)
 	s.Push(sig)
 	return s.Flush()
 }

@@ -82,6 +82,13 @@ type RxStream struct {
 	// wazabee_stream_*).
 	pushes  *obs.Counter
 	samples *obs.Counter
+
+	// origin is the emission stamp of the capture currently being
+	// accumulated (SetOrigin); zero leaves the demod latency stage
+	// unobserved. hDemod is the pre-resolved
+	// wazabee_latency_seconds{stage="demod"} series it feeds at Flush.
+	origin time.Time
+	hDemod *obs.Histogram
 }
 
 // Stream builds a fresh streaming receiver sharing this Receiver's
@@ -109,8 +116,19 @@ func (r *Receiver) Stream() *RxStream {
 		stageDesp: reg.Histogram(obs.StageSecondsMetric, obs.DurationBuckets, "stage", "despread"),
 		pushes:    reg.Counter("wazabee_stream_pushes_total", "decoder", "wazabee"),
 		samples:   reg.Counter("wazabee_stream_samples_total", "decoder", "wazabee"),
+		hDemod:    obs.LatencyHistogram(reg, "demod", "decoder", "wazabee"),
 	}
 }
+
+// SetOrigin stamps the capture currently being accumulated with its
+// monotonic emission time (zigbee.Capture.Origin). The concluding Flush
+// then observes the emission→verdict distance into the
+// wazabee_latency_seconds{stage="demod"} histogram — for every
+// concluded attempt, decoded or not, so the latency population is not
+// survivorship-biased toward clean frames. Call it any time between the
+// capture's first Push and its Flush; Flush clears the stamp. A zero
+// origin (the default) leaves the stage unobserved.
+func (s *RxStream) SetOrigin(origin time.Time) { s.origin = origin }
 
 // Push feeds one IQ chunk through the discriminator and correlator
 // stages and advances the despreader. It returns the frames whose
@@ -256,6 +274,9 @@ func (s *RxStream) Flush() (*ieee802154.Demodulated, *link.Stats, error) {
 	defer func() {
 		st.Finalize()
 		link.Observe(reg, st, "decoder", "wazabee")
+		if !s.origin.IsZero() {
+			s.hDemod.Observe(obs.DurationSeconds(time.Since(s.origin)))
+		}
 		s.reset()
 	}()
 
@@ -339,6 +360,7 @@ func (s *RxStream) reset() {
 	s.sliced = s.sliced[:0]
 	s.despErr = nil
 	s.dem = nil
+	s.origin = time.Time{}
 }
 
 // Pending reports how many samples the stream has retained since the

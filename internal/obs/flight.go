@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is the flight recorder: a bounded lock-free ring of recent
+// structured events that correlates the log, trace and metric streams
+// for post-mortem analysis. Counters can say *that* a subscriber
+// dropped records; the flight recorder says *which* frames, when, at
+// what latency, next to whatever else the pipeline was doing — the
+// evidence a stalled subscriber or an unexplained drop leaves behind.
+//
+// Writers never block: each Record claims a slot with one atomic add
+// and publishes an immutable event value with one atomic pointer store.
+// Readers (Snapshot, the /debug/flight handler, the SIGQUIT dump) load
+// the slot pointers — an event is never mutated after publication, so
+// torn reads are impossible by construction and the whole structure is
+// clean under the race detector. The cost is one small allocation per
+// event, acceptable at flight-recorder rates (frames, drops, lifecycle
+// transitions — not per-sample DSP work).
+type Flight struct {
+	slots []atomic.Pointer[FlightEvent]
+	// cursor counts events ever recorded; slot index = (cursor-1) % len.
+	cursor atomic.Uint64
+}
+
+// FlightEvent is one flight-recorder entry. Fields are fixed and flat
+// so recording copies a struct instead of allocating.
+type FlightEvent struct {
+	// Seq is the recorder-assigned global sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// At is the event time.
+	At time.Time `json:"ts"`
+	// Kind classifies the event: "frame", "drop", "subscribe",
+	// "unsubscribe", "error", "state", ...
+	Kind string `json:"kind"`
+	// Component is the pipeline component that recorded it.
+	Component string `json:"component"`
+	// Frame is the capture-stream sequence number the event refers to;
+	// -1 when the event is not frame-linked.
+	Frame int64 `json:"frame"`
+	// Subscriber names the hub subscriber involved, when any.
+	Subscriber string `json:"subscriber,omitempty"`
+	// Latency is the event's associated latency in nanoseconds (e.g. the
+	// end-to-end emit→publish distance of a "frame" event); 0 when none.
+	Latency time.Duration `json:"latency_ns"`
+	// Detail is free-form context ("pass", "no-sync", an error string).
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewFlight builds a recorder keeping the last capacity events (min 8).
+func NewFlight(capacity int) *Flight {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Flight{slots: make([]atomic.Pointer[FlightEvent], capacity)}
+}
+
+// defaultFlight is the process-wide recorder instrumented code falls
+// back to when no explicit recorder is wired in.
+var defaultFlight = NewFlight(4096)
+
+// DefaultFlight returns the process-wide flight recorder.
+func DefaultFlight() *Flight {
+	return defaultFlight
+}
+
+// OrFlight returns f when non-nil and the process default otherwise —
+// the idiom components with an optional Flight field use to resolve it.
+func OrFlight(f *Flight) *Flight {
+	if f != nil {
+		return f
+	}
+	return defaultFlight
+}
+
+// Capacity returns the ring bound.
+func (f *Flight) Capacity() int { return len(f.slots) }
+
+// Recorded returns how many events have ever been recorded (≥ the
+// number still retained).
+func (f *Flight) Recorded() uint64 { return f.cursor.Load() }
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. The event's Seq and (when zero) At are assigned by the
+// recorder. Safe for any number of concurrent writers; never blocks.
+func (f *Flight) Record(ev FlightEvent) {
+	seq := f.cursor.Add(1)
+	ev.Seq = seq
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	f.slots[(seq-1)%uint64(len(f.slots))].Store(&ev)
+}
+
+// Snapshot returns the retained events, oldest first. Every returned
+// event is whole (events are immutable once published) and the result
+// holds at most Capacity events.
+func (f *Flight) Snapshot() []FlightEvent {
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if ev := f.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ServeHTTP serves the ring as JSON — the /debug/flight endpoint.
+// Query parameters: ?n= limits to the most recent n events, ?kind=
+// filters to one event kind.
+func (f *Flight) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	events := f.Snapshot()
+	q := req.URL.Query()
+	if k := q.Get("kind"); k != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.Kind == k {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if s := q.Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("obs: bad event count %q", s), http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	payload := struct {
+		Capacity int           `json:"capacity"`
+		Recorded uint64        `json:"recorded"`
+		Events   []FlightEvent `json:"events"`
+	}{Capacity: f.Capacity(), Recorded: f.Recorded(), Events: events}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// Dump writes the retained events as a human-readable table — the
+// SIGQUIT / shutdown post-mortem form.
+func (f *Flight) Dump(w io.Writer) {
+	events := f.Snapshot()
+	fmt.Fprintf(w, "flight recorder: %d events retained of %d recorded (capacity %d)\n",
+		len(events), f.Recorded(), f.Capacity())
+	for _, ev := range events {
+		frame := "-"
+		if ev.Frame >= 0 {
+			frame = strconv.FormatInt(ev.Frame, 10)
+		}
+		lat := "-"
+		if ev.Latency > 0 {
+			lat = ev.Latency.String()
+		}
+		fmt.Fprintf(w, "  #%-7d %s %-11s %-10s frame=%-6s sub=%-12s lat=%-10s %s\n",
+			ev.Seq, ev.At.Format("15:04:05.000"), ev.Kind, ev.Component,
+			frame, orDash(ev.Subscriber), lat, ev.Detail)
+	}
+}
+
+// Summary counts retained events by kind — the one-line shutdown form.
+func (f *Flight) Summary() string {
+	counts := make(map[string]int)
+	for _, ev := range f.Snapshot() {
+		counts[ev.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " " + p
+	}
+	return out
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

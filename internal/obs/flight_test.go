@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecordSnapshot checks the basic contract: events come back
+// whole, oldest first, and the ring never exceeds its bound.
+func TestFlightRecordSnapshot(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 40; i++ {
+		f.Record(FlightEvent{Kind: "frame", Component: "test", Frame: int64(i), Detail: "pass"})
+	}
+	events := f.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("retained %d events, want capacity 16", len(events))
+	}
+	if f.Recorded() != 40 {
+		t.Fatalf("recorded %d, want 40", f.Recorded())
+	}
+	for i, ev := range events {
+		if i > 0 && ev.Seq <= events[i-1].Seq {
+			t.Fatalf("snapshot not ordered: seq %d after %d", ev.Seq, events[i-1].Seq)
+		}
+		if ev.Frame != int64(ev.Seq-1) {
+			t.Errorf("event %d: frame %d does not match seq %d", i, ev.Frame, ev.Seq)
+		}
+	}
+	// The retained window is the most recent events.
+	if events[0].Seq != 25 || events[15].Seq != 40 {
+		t.Errorf("retained window [%d, %d], want [25, 40]", events[0].Seq, events[15].Seq)
+	}
+}
+
+// TestFlightMinimumCapacity checks the capacity floor.
+func TestFlightMinimumCapacity(t *testing.T) {
+	if got := NewFlight(0).Capacity(); got != 8 {
+		t.Fatalf("capacity %d, want floor 8", got)
+	}
+}
+
+// TestFlightConcurrentHammer race-hammers the recorder: many concurrent
+// writers while readers snapshot and hit the HTTP handler. The ring
+// must never exceed its bound and every surfaced event must be
+// internally consistent (no torn reads).
+func TestFlightConcurrentHammer(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 5000
+		capacity  = 64
+	)
+	f := NewFlight(capacity)
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(FlightEvent{
+					Kind:       "drop",
+					Component:  "hub",
+					Frame:      int64(i),
+					Subscriber: "sub",
+					Latency:    time.Duration(i),
+					Detail:     "hammer",
+				})
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				events := f.Snapshot()
+				if len(events) > capacity {
+					t.Errorf("snapshot of %d events exceeds capacity %d", len(events), capacity)
+					return
+				}
+				for _, ev := range events {
+					// Torn events would mix fields from different writes;
+					// every field here is tied to the same record call.
+					if ev.Kind != "drop" || ev.Component != "hub" || ev.Detail != "hammer" {
+						t.Errorf("torn event surfaced: %+v", ev)
+						return
+					}
+					if ev.Frame != int64(ev.Latency) {
+						t.Errorf("torn event: frame %d vs latency %d", ev.Frame, ev.Latency)
+						return
+					}
+				}
+				rec := httptest.NewRecorder()
+				f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+				if rec.Code != 200 {
+					t.Errorf("/debug/flight status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	if got := f.Recorded(); got != writers*perWriter {
+		t.Fatalf("recorded %d events, want %d", got, writers*perWriter)
+	}
+	if n := len(f.Snapshot()); n != capacity {
+		t.Fatalf("retained %d events after hammer, want full ring of %d", n, capacity)
+	}
+}
+
+// TestFlightServeHTTP checks the JSON shape and the n/kind filters.
+func TestFlightServeHTTP(t *testing.T) {
+	f := NewFlight(32)
+	for i := 0; i < 10; i++ {
+		kind := "frame"
+		if i%2 == 1 {
+			kind = "drop"
+		}
+		f.Record(FlightEvent{Kind: kind, Component: "test", Frame: int64(i)})
+	}
+	get := func(target string) (int, struct {
+		Capacity int           `json:"capacity"`
+		Recorded uint64        `json:"recorded"`
+		Events   []FlightEvent `json:"events"`
+	}) {
+		rec := httptest.NewRecorder()
+		f.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		var payload struct {
+			Capacity int           `json:"capacity"`
+			Recorded uint64        `json:"recorded"`
+			Events   []FlightEvent `json:"events"`
+		}
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+				t.Fatalf("GET %s: bad JSON: %v", target, err)
+			}
+		}
+		return rec.Code, payload
+	}
+
+	code, payload := get("/debug/flight")
+	if code != 200 || payload.Capacity != 32 || payload.Recorded != 10 || len(payload.Events) != 10 {
+		t.Fatalf("full dump: code=%d payload=%+v", code, payload)
+	}
+	code, payload = get("/debug/flight?kind=drop")
+	if code != 200 || len(payload.Events) != 5 {
+		t.Fatalf("kind filter: code=%d events=%d, want 5", code, len(payload.Events))
+	}
+	code, payload = get("/debug/flight?n=3")
+	if code != 200 || len(payload.Events) != 3 || payload.Events[0].Frame != 7 {
+		t.Fatalf("n filter: code=%d events=%+v", code, payload.Events)
+	}
+	if code, _ := get("/debug/flight?n=bogus"); code != 400 {
+		t.Fatalf("bad n: code=%d, want 400", code)
+	}
+}
+
+// TestFlightDumpSummary exercises the post-mortem text forms.
+func TestFlightDumpSummary(t *testing.T) {
+	f := NewFlight(16)
+	if got := f.Summary(); got != "empty" {
+		t.Fatalf("empty summary %q", got)
+	}
+	f.Record(FlightEvent{Kind: "frame", Component: "daemon", Frame: 3, Latency: time.Millisecond, Detail: "pass"})
+	f.Record(FlightEvent{Kind: "drop", Component: "hub", Frame: -1, Subscriber: "tcp:1"})
+	f.Record(FlightEvent{Kind: "drop", Component: "hub", Frame: -1, Subscriber: "tcp:1"})
+	if got := f.Summary(); got != "drop=2 frame=1" {
+		t.Fatalf("summary %q, want \"drop=2 frame=1\"", got)
+	}
+	var b strings.Builder
+	f.Dump(&b)
+	dump := b.String()
+	for _, want := range []string{"3 events retained", "frame=3", "sub=tcp:1", "pass", "1ms"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

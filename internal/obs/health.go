@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HealthStatus orders component health from best to worst.
+type HealthStatus int
+
+// Component health states. Degraded means the component is limping but
+// the process can still serve (e.g. the pcap tee hit a write error);
+// Down means it cannot (e.g. a listener's accept loop exited).
+const (
+	HealthOK HealthStatus = iota
+	HealthDegraded
+	HealthDown
+)
+
+// String implements fmt.Stringer.
+func (s HealthStatus) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeFunc checks one component on demand; a non-nil error marks it
+// Down with the error as detail. Probes must be safe to call from any
+// goroutine and should be cheap — they run on every /readyz request and
+// every prober tick.
+type ProbeFunc func() error
+
+// Health is a registry of named component health probes feeding the
+// /healthz and /readyz endpoints and the wazabee_health_* gauges.
+// Components report either by pull (a ProbeFunc evaluated at check
+// time), by push (SetOK/SetDegraded/SetDown on the returned handle), or
+// both — the worse of the two states wins, so a pushed degradation is
+// never masked by a passing probe.
+type Health struct {
+	reg   *Registry
+	start time.Time
+
+	mu         sync.Mutex
+	components []*HealthComponent
+	gReady     *Gauge
+	gUptime    *Gauge
+}
+
+// HealthComponent is one registered component's handle.
+type HealthComponent struct {
+	h        *Health
+	name     string
+	critical bool
+	probe    ProbeFunc
+	gauge    *Gauge
+
+	mu     sync.Mutex
+	status HealthStatus
+	detail string
+	since  time.Time
+}
+
+// NewHealth builds a health registry reporting into reg; nil falls back
+// to the process default registry.
+func NewHealth(reg *Registry) *Health {
+	r := Or(reg)
+	return &Health{
+		reg:     r,
+		start:   time.Now(),
+		gReady:  r.Gauge("wazabee_health_ready"),
+		gUptime: r.Gauge("wazabee_uptime_seconds"),
+	}
+}
+
+// Register adds a component. critical components gate readiness: one of
+// them Down flips /readyz to 503. probe may be nil for push-only
+// components. Registering the same name twice returns the existing
+// handle (the later probe, if any, replaces the earlier).
+func (h *Health) Register(name string, critical bool, probe ProbeFunc) *HealthComponent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.components {
+		if c.name == name {
+			if probe != nil {
+				c.probe = probe
+			}
+			return c
+		}
+	}
+	c := &HealthComponent{
+		h:        h,
+		name:     name,
+		critical: critical,
+		probe:    probe,
+		gauge:    h.reg.Gauge("wazabee_health_status", "component", name),
+		since:    time.Now(),
+	}
+	h.components = append(h.components, c)
+	sort.Slice(h.components, func(i, j int) bool { return h.components[i].name < h.components[j].name })
+	return c
+}
+
+// set transitions the pushed state, keeping the transition time.
+func (c *HealthComponent) set(st HealthStatus, detail string) {
+	c.mu.Lock()
+	if c.status != st || c.detail != detail {
+		c.status = st
+		c.detail = detail
+		c.since = time.Now()
+	}
+	c.mu.Unlock()
+}
+
+// SetOK marks the component healthy.
+func (c *HealthComponent) SetOK() { c.set(HealthOK, "") }
+
+// SetDegraded marks the component limping, with a reason.
+func (c *HealthComponent) SetDegraded(detail string) { c.set(HealthDegraded, detail) }
+
+// SetDown marks the component dead, with a reason.
+func (c *HealthComponent) SetDown(detail string) { c.set(HealthDown, detail) }
+
+// check evaluates the component now: the worse of the pushed state and
+// the probe result.
+func (c *HealthComponent) check() ComponentHealth {
+	c.mu.Lock()
+	st, detail, since := c.status, c.detail, c.since
+	probe := c.probe
+	c.mu.Unlock()
+	if probe != nil {
+		if err := probe(); err != nil && st < HealthDown {
+			st, detail = HealthDown, err.Error()
+		}
+	}
+	c.gauge.Set(float64(st))
+	return ComponentHealth{
+		Name:     c.name,
+		Status:   st.String(),
+		Critical: c.critical,
+		Detail:   detail,
+		Since:    since,
+		status:   st,
+	}
+}
+
+// ComponentHealth is one component's state in a snapshot.
+type ComponentHealth struct {
+	Name     string    `json:"name"`
+	Status   string    `json:"status"`
+	Critical bool      `json:"critical"`
+	Detail   string    `json:"detail,omitempty"`
+	Since    time.Time `json:"since"`
+
+	status HealthStatus
+}
+
+// HealthSnapshot is one full evaluation of the registry.
+type HealthSnapshot struct {
+	// Status is the worst component status ("ok" when empty).
+	Status string `json:"status"`
+	// Ready reports whether every critical component is not Down.
+	Ready         bool              `json:"ready"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Components    []ComponentHealth `json:"components"`
+}
+
+// Check evaluates every component (probes included), refreshes the
+// wazabee_health_* gauges and returns the snapshot.
+func (h *Health) Check() HealthSnapshot {
+	h.mu.Lock()
+	comps := append([]*HealthComponent(nil), h.components...)
+	h.mu.Unlock()
+
+	snap := HealthSnapshot{
+		Ready:         true,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Components:    make([]ComponentHealth, 0, len(comps)),
+	}
+	worst := HealthOK
+	for _, c := range comps {
+		ch := c.check()
+		if ch.status > worst {
+			worst = ch.status
+		}
+		if ch.Critical && ch.status == HealthDown {
+			snap.Ready = false
+		}
+		snap.Components = append(snap.Components, ch)
+	}
+	snap.Status = worst.String()
+	ready := 0.0
+	if snap.Ready {
+		ready = 1
+	}
+	h.gReady.Set(ready)
+	h.gUptime.Set(snap.UptimeSeconds)
+	return snap
+}
+
+// Run re-evaluates the registry every period until ctx is cancelled, so
+// the gauges stay fresh between scrapes even when nobody hits the
+// endpoints.
+func (h *Health) Run(ctx context.Context, period time.Duration) {
+	if period <= 0 {
+		period = 2 * time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	h.Check()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			h.Check()
+		}
+	}
+}
+
+// serve writes one evaluated snapshot; ready controls whether a
+// not-ready registry answers 503.
+func (h *Health) serve(w http.ResponseWriter, gate bool) {
+	snap := h.Check()
+	code := http.StatusOK
+	if gate && !snap.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(b)
+}
+
+// Healthz is the liveness endpoint: always 200 while the process can
+// answer, with the full component snapshot as the body.
+func (h *Health) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { h.serve(w, false) })
+}
+
+// Readyz is the readiness endpoint: 200 while every critical component
+// is up, 503 otherwise — same JSON body either way.
+func (h *Health) Readyz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { h.serve(w, true) })
+}

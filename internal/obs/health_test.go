@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// getHealth hits a handler and decodes the snapshot body.
+func getHealth(t *testing.T, h *Health, ready bool) (int, HealthSnapshot) {
+	t.Helper()
+	handler := h.Healthz()
+	if ready {
+		handler = h.Readyz()
+	}
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var snap HealthSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("health body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return rec.Code, snap
+}
+
+// TestHealthPushAndProbe covers the push/pull state machine: the worse
+// of the pushed state and the probe result wins, critical Down flips
+// readiness, and healthz stays 200 throughout.
+func TestHealthPushAndProbe(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+
+	var probeErr error
+	h.Register("listener", true, func() error { return probeErr })
+	pcap := h.Register("pcap", false, nil)
+
+	code, snap := getHealth(t, h, true)
+	if code != 200 || !snap.Ready || snap.Status != "ok" {
+		t.Fatalf("fresh registry: code=%d snap=%+v", code, snap)
+	}
+	if len(snap.Components) != 2 || snap.Components[0].Name != "listener" || snap.Components[1].Name != "pcap" {
+		t.Fatalf("components not sorted: %+v", snap.Components)
+	}
+
+	// A non-critical degradation: still ready, overall status degraded.
+	pcap.SetDegraded("disk full")
+	code, snap = getHealth(t, h, true)
+	if code != 200 || !snap.Ready || snap.Status != "degraded" {
+		t.Fatalf("degraded pcap: code=%d snap=%+v", code, snap)
+	}
+	if snap.Components[1].Detail != "disk full" {
+		t.Fatalf("degraded detail %q", snap.Components[1].Detail)
+	}
+
+	// A critical probe failure: readyz flips to 503, healthz stays 200.
+	probeErr = errors.New("accept loop exited")
+	code, snap = getHealth(t, h, true)
+	if code != 503 || snap.Ready || snap.Status != "down" {
+		t.Fatalf("dead listener readyz: code=%d snap=%+v", code, snap)
+	}
+	if code, snap = getHealth(t, h, false); code != 200 || snap.Ready {
+		t.Fatalf("dead listener healthz: code=%d ready=%v, want 200/false", code, snap.Ready)
+	}
+	if g := reg.Gauge("wazabee_health_status", "component", "listener").Value(); g != float64(HealthDown) {
+		t.Fatalf("listener status gauge %g, want %g", g, float64(HealthDown))
+	}
+	if g := reg.Gauge("wazabee_health_ready").Value(); g != 0 {
+		t.Fatalf("ready gauge %g, want 0", g)
+	}
+
+	// Recovery.
+	probeErr = nil
+	pcap.SetOK()
+	code, snap = getHealth(t, h, true)
+	if code != 200 || !snap.Ready || snap.Status != "ok" {
+		t.Fatalf("recovered: code=%d snap=%+v", code, snap)
+	}
+	if g := reg.Gauge("wazabee_health_ready").Value(); g != 1 {
+		t.Fatalf("ready gauge %g, want 1", g)
+	}
+}
+
+// TestHealthPushedDownBeatsPassingProbe checks a pushed Down is never
+// masked by a passing probe.
+func TestHealthPushedDownBeatsPassingProbe(t *testing.T) {
+	h := NewHealth(NewRegistry())
+	c := h.Register("hub", true, func() error { return nil })
+	c.SetDown("closed")
+	if code, snap := getHealth(t, h, true); code != 503 || snap.Ready {
+		t.Fatalf("pushed down masked by probe: code=%d snap=%+v", code, snap)
+	}
+}
+
+// TestHealthRegisterTwice returns the same handle and keeps one gauge
+// series per component.
+func TestHealthRegisterTwice(t *testing.T) {
+	h := NewHealth(NewRegistry())
+	a := h.Register("x", false, nil)
+	b := h.Register("x", false, func() error { return errors.New("boom") })
+	if a != b {
+		t.Fatal("re-registration returned a new handle")
+	}
+	if _, snap := getHealth(t, h, false); len(snap.Components) != 1 || snap.Components[0].Status != "down" {
+		t.Fatalf("re-registered probe not applied: %+v", snap.Components)
+	}
+}
+
+// TestHealthRun checks the periodic prober keeps the gauges fresh and
+// stops on cancellation.
+func TestHealthRun(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	c := h.Register("loop", true, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); h.Run(ctx, 5*time.Millisecond) }()
+
+	// Wait for the prober's initial synchronous check (reading the gauge
+	// creates it at zero, so distinguish "not yet probed" via ready=1).
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("wazabee_health_ready").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never ran its first check")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.SetDown("flipped")
+	for reg.Gauge("wazabee_health_ready").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never noticed the flip")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if reg.Gauge("wazabee_uptime_seconds").Value() <= 0 {
+		t.Error("uptime gauge not set by the prober")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("prober did not stop on cancellation")
+	}
+}

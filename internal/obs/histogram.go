@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Histogram is a fixed-bucket histogram: observations are counted into
@@ -12,14 +12,21 @@ import (
 // exact sum/count kept alongside. Quantiles are estimated by linear
 // interpolation inside the covering bucket, the same estimator
 // Prometheus's histogram_quantile uses.
+//
+// Observe is lock-free — one atomic bucket increment plus CAS loops for
+// the sum and extrema — because histograms sit on the per-record hot
+// paths (every hub publish, every queue pop, every stream flush). The
+// price is that a snapshot taken during concurrent observation is only
+// approximately consistent (a reader may see a bucket increment before
+// the matching sum update); for telemetry that skew is harmless and
+// transient, and the total count is always derived from the buckets so
+// cumulative series never disagree with _count.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending finite upper bounds
-	counts []uint64  // len(bounds)+1; last is the +Inf bucket
-	sum    float64
-	count  uint64
-	min    float64
-	max    float64
+	bounds  []float64       // ascending finite upper bounds, immutable
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64   // IEEE-754 bits of the running sum
+	minBits atomic.Uint64   // IEEE-754 bits of the observed minimum
+	maxBits atomic.Uint64   // IEEE-754 bits of the observed maximum
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -37,11 +44,22 @@ func newHistogram(bounds []float64) *Histogram {
 		dst = append(dst, b)
 	}
 	bs = dst
-	return &Histogram{
+	h := &Histogram{
 		bounds: bs,
-		counts: make([]uint64, len(bs)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// addFloat atomically adds v to the float64 whose bits live in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
 	}
 }
 
@@ -50,42 +68,55 @@ func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
-	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.mu.Lock()
-	h.counts[idx]++
-	h.sum += v
-	h.count++
-	if v < h.min {
-		h.min = v
+	// First bound >= v, as sort.SearchFloat64s computes it but inlined:
+	// the closure-based sort.Search costs more than the search itself on
+	// this per-record path.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	if v > h.max {
-		h.max = v
+	h.counts[lo].Add(1)
+	addFloat(&h.sumBits, v)
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
 	}
-	h.mu.Unlock()
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
 }
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	return math.Float64frombits(h.sumBits.Load())
 }
 
 // Mean returns the average observation (0 when empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.Count()
+	if count == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.Sum() / float64(count)
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
@@ -97,14 +128,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN()
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	st := h.snapshot()
+	if st.count == 0 {
 		return math.NaN()
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(st.count)
 	var cum uint64
-	for i, c := range h.counts {
+	for i, c := range st.counts {
 		if c == 0 {
 			continue
 		}
@@ -113,36 +143,38 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		// Bucket i covers the target rank; interpolate across it.
-		lo := h.min
+		lo := st.min
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = st.bounds[i-1]
 		}
-		hi := h.max
-		if i < len(h.bounds) && h.bounds[i] < hi {
-			hi = h.bounds[i]
+		hi := st.max
+		if i < len(st.bounds) && st.bounds[i] < hi {
+			hi = st.bounds[i]
 		}
-		if i == len(h.bounds) || hi < lo {
+		if i == len(st.bounds) || hi < lo {
 			// +Inf bucket, or a min/max clamp crossing: the best
 			// point estimate is the observed extreme.
-			if i == len(h.bounds) {
-				return h.max
+			if i == len(st.bounds) {
+				return st.max
 			}
 			return hi
 		}
 		frac := (rank - float64(cum)) / float64(c)
 		v := lo + (hi-lo)*frac
-		if v < h.min {
-			v = h.min
+		if v < st.min {
+			v = st.min
 		}
-		if v > h.max {
-			v = h.max
+		if v > st.max {
+			v = st.max
 		}
 		return v
 	}
-	return h.max
+	return st.max
 }
 
-// histState is a consistent copy of a histogram's internals.
+// histState is a copy of a histogram's internals, approximately
+// consistent under concurrent observation; count is derived from the
+// bucket counts so cumulative bucket series always sum to it exactly.
 type histState struct {
 	bounds   []float64
 	counts   []uint64
@@ -151,27 +183,26 @@ type histState struct {
 	min, max float64
 }
 
-// snapshot returns a consistent copy for the encoders and merge.
+// snapshot returns a copy for the encoders, quantiles and merge.
 func (h *Histogram) snapshot() histState {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return histState{
+	st := histState{
 		bounds: append([]float64(nil), h.bounds...),
-		counts: append([]uint64(nil), h.counts...),
-		sum:    h.sum,
-		count:  h.count,
-		min:    h.min,
-		max:    h.max,
+		counts: make([]uint64, len(h.counts)),
+		sum:    math.Float64frombits(h.sumBits.Load()),
+		min:    math.Float64frombits(h.minBits.Load()),
+		max:    math.Float64frombits(h.maxBits.Load()),
 	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		st.counts[i] = c
+		st.count += c
+	}
+	return st
 }
 
-// merge adds other's buckets into h; layouts must match. The snapshot
-// is taken before h's lock so concurrent merges in opposite directions
-// cannot deadlock.
+// merge adds other's buckets into h; layouts must match.
 func (h *Histogram) merge(other *Histogram) error {
 	st := other.snapshot()
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if len(st.bounds) != len(h.bounds) {
 		return fmt.Errorf("bucket layout mismatch: %d vs %d bounds", len(st.bounds), len(h.bounds))
 	}
@@ -181,15 +212,20 @@ func (h *Histogram) merge(other *Histogram) error {
 		}
 	}
 	for i, c := range st.counts {
-		h.counts[i] += c
+		h.counts[i].Add(c)
 	}
-	h.sum += st.sum
-	h.count += st.count
-	if st.min < h.min {
-		h.min = st.min
+	addFloat(&h.sumBits, st.sum)
+	for {
+		old := h.minBits.Load()
+		if st.min >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(st.min)) {
+			break
+		}
 	}
-	if st.max > h.max {
-		h.max = st.max
+	for {
+		old := h.maxBits.Load()
+		if st.max <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(st.max)) {
+			break
+		}
 	}
 	return nil
 }

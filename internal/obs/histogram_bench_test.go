@@ -1,0 +1,29 @@
+package obs
+
+import "testing"
+
+// BenchmarkHistogramObserve pins the cost of the lock-free Observe hot
+// path on the latency bucket layout — the per-record overhead every
+// hub publish, queue pop and stream flush pays.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00137)
+	}
+}
+
+// BenchmarkHistogramObserveParallel checks the hot path under
+// contention: concurrent publishers and consumers observe into the
+// same latency family.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.00137
+		for pb.Next() {
+			h.Observe(v)
+			v += 1e-9
+		}
+	})
+}

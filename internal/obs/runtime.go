@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"runtime/debug"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime telemetry (§7 catalogue: wazabee_runtime_*, wazabee_build_info,
+// wazabee_uptime_seconds): a periodic sampler over the Go runtime's own
+// metrics — goroutine count, heap size, GC activity and pause/scheduler
+// latency quantiles — plus the one-shot build-info gauge every binary
+// registers so a scrape self-identifies the code it came from.
+
+// processStart anchors wazabee_uptime_seconds.
+var processStart = time.Now()
+
+// runtimeSamples maps the runtime/metrics names the sampler reads to
+// the gauges it exports. Histogram-valued samples are reduced to their
+// p50/p99 below.
+var runtimeSamples = []struct {
+	src  string
+	name string
+	hist bool
+}{
+	{"/sched/goroutines:goroutines", "wazabee_runtime_goroutines", false},
+	{"/memory/classes/heap/objects:bytes", "wazabee_runtime_heap_bytes", false},
+	{"/gc/heap/allocs:bytes", "wazabee_runtime_alloc_bytes_total", false},
+	{"/gc/cycles/total:gc-cycles", "wazabee_runtime_gc_cycles_total", false},
+	{"/gc/pauses:seconds", "wazabee_runtime_gc_pause_seconds", true},
+	{"/sched/latencies:seconds", "wazabee_runtime_sched_latency_seconds", true},
+}
+
+// runtimeQuantiles are the quantile points exported per histogram
+// sample, as a "quantile" label.
+var runtimeQuantiles = []struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.99, "0.99"}}
+
+// SampleRuntime reads the runtime metrics once into reg (nil falls back
+// to the process default) and refreshes wazabee_uptime_seconds. The
+// sampler goroutine calls it on every tick; commands that exit quickly
+// can call it once before dumping their registry.
+func SampleRuntime(reg *Registry) {
+	r := Or(reg)
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples[i].Name = s.src
+	}
+	metrics.Read(samples)
+	for i, s := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			r.Gauge(s.name).Set(float64(samples[i].Value.Uint64()))
+		case metrics.KindFloat64:
+			r.Gauge(s.name).Set(samples[i].Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := samples[i].Value.Float64Histogram()
+			for _, rq := range runtimeQuantiles {
+				r.Gauge(s.name, "quantile", rq.label).Set(histQuantile(h, rq.q))
+			}
+		}
+	}
+	r.Gauge("wazabee_uptime_seconds").Set(time.Since(processStart).Seconds())
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics histogram
+// by locating the covering bucket and taking its midpoint (lower bound
+// for the open-ended tail bucket).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				return hi
+			}
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 1) {
+		last = h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}
+
+// StartRuntimeSampler samples the runtime into reg every period until
+// ctx is cancelled. It takes one sample synchronously before returning,
+// so the gauges exist by the time the caller serves its first scrape.
+func StartRuntimeSampler(ctx context.Context, reg *Registry, period time.Duration) {
+	if period <= 0 {
+		period = 5 * time.Second
+	}
+	SampleRuntime(reg)
+	go func() {
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				SampleRuntime(reg)
+			}
+		}
+	}()
+}
+
+// RegisterBuildInfo sets the wazabee_build_info gauge (value fixed at
+// 1) labelled with the toolchain version and VCS revision from the
+// binary's embedded build information, so every scrape self-identifies
+// the build it came from. reg nil falls back to the process default.
+func RegisterBuildInfo(reg *Registry) {
+	goversion, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goversion = bi.GoVersion
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	r := Or(reg)
+	r.Gauge("wazabee_build_info", "goversion", goversion, "vcs_revision", revision).Set(1)
+	r.Gauge("wazabee_uptime_seconds").Set(time.Since(processStart).Seconds())
+}

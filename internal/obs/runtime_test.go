@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSampleRuntime checks one sample publishes the full gauge set with
+// sane values.
+func TestSampleRuntime(t *testing.T) {
+	reg := NewRegistry()
+	SampleRuntime(reg)
+
+	if g := reg.Gauge("wazabee_runtime_goroutines").Value(); g < 1 {
+		t.Errorf("goroutines gauge %g < 1", g)
+	}
+	if g := reg.Gauge("wazabee_runtime_heap_bytes").Value(); g <= 0 {
+		t.Errorf("heap gauge %g <= 0", g)
+	}
+	if g := reg.Gauge("wazabee_uptime_seconds").Value(); g <= 0 {
+		t.Errorf("uptime gauge %g <= 0", g)
+	}
+	text := reg.PrometheusText()
+	for _, name := range []string{
+		"wazabee_runtime_goroutines",
+		"wazabee_runtime_heap_bytes",
+		"wazabee_runtime_alloc_bytes_total",
+		"wazabee_runtime_gc_cycles_total",
+		`wazabee_runtime_gc_pause_seconds{quantile="0.5"}`,
+		`wazabee_runtime_gc_pause_seconds{quantile="0.99"}`,
+		`wazabee_runtime_sched_latency_seconds{quantile="0.5"}`,
+		`wazabee_runtime_sched_latency_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("runtime sample missing %s", name)
+		}
+	}
+
+	// Force a GC so the pause quantiles have observations, then check
+	// they stay finite and non-negative.
+	runtime.GC()
+	SampleRuntime(reg)
+	for _, q := range []string{"0.5", "0.99"} {
+		v := reg.Gauge("wazabee_runtime_gc_pause_seconds", "quantile", q).Value()
+		if v < 0 || v > 10 {
+			t.Errorf("gc pause p%s = %g outside [0, 10s]", q, v)
+		}
+	}
+}
+
+// TestStartRuntimeSampler checks the sampler publishes synchronously on
+// start and keeps refreshing until cancelled.
+func TestStartRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	StartRuntimeSampler(ctx, reg, 5*time.Millisecond)
+	if reg.Gauge("wazabee_runtime_goroutines").Value() < 1 {
+		t.Fatal("no synchronous first sample")
+	}
+	before := reg.Gauge("wazabee_uptime_seconds").Value()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("wazabee_uptime_seconds").Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never refreshed the uptime gauge")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRegisterBuildInfo checks the build-info gauge self-identifies the
+// binary with its Go version.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	text := reg.PrometheusText()
+	if !strings.Contains(text, "wazabee_build_info{") {
+		t.Fatalf("no build info gauge:\n%s", text)
+	}
+	if !strings.Contains(text, `goversion="go`) {
+		t.Errorf("build info missing the Go version:\n%s", text)
+	}
+	if !strings.Contains(text, "vcs_revision=") {
+		t.Errorf("build info missing the revision label:\n%s", text)
+	}
+	if !strings.Contains(text, "wazabee_uptime_seconds") {
+		t.Errorf("uptime gauge not registered alongside build info")
+	}
+}

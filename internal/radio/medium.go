@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"wazabee/internal/dsp"
 	"wazabee/internal/obs"
@@ -93,6 +94,13 @@ func (m *Medium) Deliver(sig dsp.IQ, txFreqMHz, rxFreqMHz float64, link Link) (d
 	reg := obs.Or(m.Obs)
 	end := obs.Stage(reg, m.Trace, "medium")
 	defer end()
+	// The medium is the TX→RX boundary: observing its wall time as the
+	// "medium" latency stage lets the daemon's emit→demod numbers be
+	// decomposed into channel-simulation cost vs DSP cost.
+	start := time.Now()
+	defer func() {
+		obs.LatencyHistogram(reg, "medium").Observe(obs.DurationSeconds(time.Since(start)))
+	}()
 
 	sep := txFreqMHz - rxFreqMHz
 	if sep < 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wazabee/internal/dsp"
+	"wazabee/internal/obs"
 )
 
 func carrier(n int) dsp.IQ {
@@ -213,5 +214,26 @@ func TestWiFiInterferenceDegradesVictimChannel(t *testing.T) {
 	offWiFi := deliverPower(2480) // Zigbee 26, far away
 	if onWiFi <= offWiFi*1.2 {
 		t.Errorf("power on interfered channel %g not above clean channel %g", onWiFi, offWiFi)
+	}
+}
+
+// TestDeliverObservesMediumLatency pins the "medium" latency stage:
+// every Deliver call self-times the channel simulation into
+// wazabee_latency_seconds{stage="medium"} on the medium's registry.
+func TestDeliverObservesMediumLatency(t *testing.T) {
+	m, err := NewMedium(16e6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Obs = obs.NewRegistry()
+	if _, err := m.Deliver(carrier(256), 2425, 2425, Link{SNRdB: 20}); err != nil {
+		t.Fatal(err)
+	}
+	h := obs.LatencyHistogram(m.Obs, "medium")
+	if got := h.Count(); got != 1 {
+		t.Fatalf("medium latency count = %d after one delivery, want 1", got)
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("medium latency sum = %g, want > 0", h.Sum())
 	}
 }

@@ -22,7 +22,10 @@ const MaxDatagramSize = 2047
 
 // Fragment splits a datagram into link-layer payloads no longer than
 // maxFragment bytes each (headers included). Datagrams that already fit
-// are returned unfragmented as a single payload.
+// are returned unfragmented as a single payload — unless their first
+// byte collides with a fragment dispatch value (top bits 11000/11100),
+// in which case a single FRAG1 covering the whole datagram is emitted
+// so the receiver cannot misparse the raw payload as a fragment header.
 func Fragment(datagram []byte, tag uint16, maxFragment int) ([][]byte, error) {
 	if len(datagram) == 0 {
 		return nil, fmt.Errorf("sixlowpan: empty datagram")
@@ -30,7 +33,8 @@ func Fragment(datagram []byte, tag uint16, maxFragment int) ([][]byte, error) {
 	if len(datagram) > MaxDatagramSize {
 		return nil, fmt.Errorf("sixlowpan: datagram length %d exceeds %d", len(datagram), MaxDatagramSize)
 	}
-	if len(datagram) <= maxFragment {
+	ambiguous := datagram[0]&0xf8 == frag1Dispatch || datagram[0]&0xf8 == fragNDispatch
+	if len(datagram) <= maxFragment && !ambiguous {
 		return [][]byte{append([]byte{}, datagram...)}, nil
 	}
 	if maxFragment < 16 {
@@ -45,6 +49,12 @@ func Fragment(datagram []byte, tag uint16, maxFragment int) ([][]byte, error) {
 	rest := (maxFragment - 5) / 8 * 8
 	if first <= 0 || rest <= 0 {
 		return nil, fmt.Errorf("sixlowpan: fragment size %d too small for headers", maxFragment)
+	}
+	if first > len(datagram) {
+		// Only reachable for an ambiguous datagram that fits the MTU:
+		// a lone FRAG1 is also the final fragment, so its payload is
+		// exempt from the multiple-of-8 rule.
+		first = len(datagram)
 	}
 
 	var out [][]byte

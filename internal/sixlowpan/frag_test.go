@@ -184,3 +184,52 @@ func TestFragmentProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFragmentAmbiguousDispatchRoundTrip pins the fix for datagrams
+// that fit the MTU but whose first byte matches a fragment dispatch
+// (top bits 11000/11100): returned raw they would be misparsed by
+// Accept as a fragment header, so Fragment must wrap them in a lone
+// FRAG1. Inputs are the two counterexamples testing/quick found.
+func TestFragmentAmbiguousDispatchRoundTrip(t *testing.T) {
+	cases := []struct {
+		size int
+		mtu  int
+		seed int64
+	}{
+		{110, 127, -2867996836320836218},
+		{108, 108, 6350159066158286303},
+		{60, 127, 3},  // small ambiguous-forced payload, see below
+		{123, 127, 4}, // len+4 == mtu: wrapped FRAG1 exactly fills the MTU
+		{124, 127, 4}, // len+4 > mtu: must fall back to real fragmentation
+	}
+	for _, tc := range cases {
+		d := testDatagram(tc.size, tc.seed)
+		d[0] = frag1Dispatch | 0x03 // force the ambiguous first byte
+		frags, err := Fragment(d, 0x1234, tc.mtu)
+		if err != nil {
+			t.Fatalf("size=%d mtu=%d: %v", tc.size, tc.mtu, err)
+		}
+		for i, f := range frags {
+			if len(f) > tc.mtu {
+				t.Fatalf("size=%d mtu=%d: fragment %d is %d bytes", tc.size, tc.mtu, i, len(f))
+			}
+		}
+		r := NewReassembler()
+		var got []byte
+		for _, f := range frags {
+			out, err := r.Accept(f)
+			if err != nil {
+				t.Fatalf("size=%d mtu=%d accept: %v", tc.size, tc.mtu, err)
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		if !bytes.Equal(got, d) {
+			t.Errorf("size=%d mtu=%d: reassembly mismatch (got %d bytes, want %d)", tc.size, tc.mtu, len(got), len(d))
+		}
+		if r.Pending() != 0 {
+			t.Errorf("size=%d mtu=%d: %d reassemblies left in flight", tc.size, tc.mtu, r.Pending())
+		}
+	}
+}

@@ -16,6 +16,13 @@ type Capture struct {
 	IQ dsp.IQ
 	// At is the wall-clock instant the reporting period fired.
 	At time.Time
+	// Origin is the emission stamp the end-to-end latency pipeline is
+	// anchored to: taken with time.Now() at emission so it carries the
+	// monotonic clock, making origin→stage distances immune to wall-clock
+	// steps. Zero for captures that were not emitted live (replays,
+	// records rebuilt from files), which opt them out of the
+	// origin-anchored wazabee_latency_* stages.
+	Origin time.Time
 	// Channel is the 802.15.4 channel the observer's radio is tuned to.
 	Channel int
 	// Seq numbers the capture within this live run, starting at zero.
@@ -152,9 +159,11 @@ func (l *LiveNetwork) run() {
 				l.mu.Unlock()
 				return
 			}
+			now := time.Now()
 			capture := Capture{
 				IQ:        sig,
-				At:        time.Now(),
+				At:        now,
+				Origin:    now,
 				Channel:   l.captureChannel,
 				Seq:       seq,
 				LinkSNRdB: l.sim.AttackerLink.SNRdB,

@@ -1,0 +1,102 @@
+#!/bin/sh
+# smoke-health: boot wazabeed, wait for readiness, assert the flight
+# recorder has events, then verify a clean SIGTERM shutdown.
+#
+# Usage: scripts/smoke-health.sh [host:port]
+set -eu
+
+ADDR="${1:-127.0.0.1:19753}"
+GO="${GO:-go}"
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/wazabeed"
+LOG="$WORKDIR/daemon.log"
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+fetch() {
+    # fetch <url> <outfile>; curl preferred, wget fallback. Prints the
+    # HTTP status code.
+    if command -v curl >/dev/null 2>&1; then
+        curl -s -o "$2" -w '%{http_code}' "$1" || echo 000
+    else
+        if wget -q -O "$2" "$1" 2>/dev/null; then echo 200; else echo 000; fi
+    fi
+}
+
+echo "smoke-health: building wazabeed"
+$GO build -o "$BIN" ./cmd/wazabeed
+
+echo "smoke-health: starting wazabeed on $ADDR"
+"$BIN" -metrics-addr "$ADDR" -listen "" -pcap "" -interval 50ms -log-level warn >"$LOG" 2>&1 &
+PID=$!
+
+# Poll /readyz until it answers 200 (or give up after ~10 s).
+READY=0
+i=0
+while [ $i -lt 100 ]; do
+    code="$(fetch "http://$ADDR/readyz" "$WORKDIR/readyz.json")"
+    if [ "$code" = "200" ]; then
+        READY=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "smoke-health: FAIL — daemon exited before becoming ready" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$READY" != "1" ]; then
+    echo "smoke-health: FAIL — /readyz never answered 200 (last code $code)" >&2
+    cat "$WORKDIR/readyz.json" >&2 || true
+    exit 1
+fi
+echo "smoke-health: /readyz is 200"
+
+# Let a few capture periods flow, then the flight recorder must have
+# frame events.
+sleep 0.5
+code="$(fetch "http://$ADDR/debug/flight" "$WORKDIR/flight.json")"
+if [ "$code" != "200" ]; then
+    echo "smoke-health: FAIL — /debug/flight answered $code" >&2
+    exit 1
+fi
+if ! grep -q '"kind"' "$WORKDIR/flight.json"; then
+    echo "smoke-health: FAIL — flight recorder dump has no events:" >&2
+    cat "$WORKDIR/flight.json" >&2
+    exit 1
+fi
+echo "smoke-health: /debug/flight has events"
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    if [ $i -ge 100 ]; then
+        echo "smoke-health: FAIL — daemon ignored SIGTERM for 10 s" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || {
+    echo "smoke-health: FAIL — daemon exited non-zero:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+PID=""
+
+if ! grep -q 'flight recorder:' "$LOG"; then
+    echo "smoke-health: FAIL — shutdown output missing the flight summary:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "smoke-health: clean shutdown with flight summary — PASS"

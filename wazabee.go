@@ -296,6 +296,38 @@ func DefaultLogger() *Logger {
 	return obs.DefaultLogger()
 }
 
+// Health, latency SLOs and the flight recorder (see DESIGN.md §11):
+// the runtime-observability layer wazabeed serves on /healthz, /readyz
+// and /debug/flight.
+type (
+	// Health is a registry of named component probes; its Healthz and
+	// Readyz handlers are the daemon's liveness/readiness endpoints.
+	Health = obs.Health
+	// HealthComponent is one registered component's push-state handle
+	// (SetOK / SetDegraded / SetDown).
+	HealthComponent = obs.HealthComponent
+	// HealthSnapshot is one full evaluation of a Health registry.
+	HealthSnapshot = obs.HealthSnapshot
+	// FlightRecorder is a bounded lock-free ring of recent structured
+	// pipeline events — frames, drops, errors — dumpable via HTTP or
+	// SIGQUIT without stopping the process.
+	FlightRecorder = obs.Flight
+	// FlightEvent is one recorded flight event.
+	FlightEvent = obs.FlightEvent
+)
+
+// NewHealth builds a health registry reporting into the process default
+// metrics registry.
+func NewHealth() *Health {
+	return obs.NewHealth(nil)
+}
+
+// DefaultFlightRecorder returns the process-wide flight recorder;
+// instrumented components record here unless given a private recorder.
+func DefaultFlightRecorder() *FlightRecorder {
+	return obs.DefaultFlight()
+}
+
 // ComputeLQI maps a chip error rate and an SNR estimate onto the
 // 802.15.4 link-quality-indication scale (0–255).
 func ComputeLQI(chipErrorRate, snrDB float64, snrValid bool) uint8 {
