@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race racestream racerunner determinism bench fuzz smoke smoke-health ci
+.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health ci
 
 build:
 	$(GO) build ./...
@@ -45,11 +45,19 @@ racestream:
 racerunner:
 	$(GO) test -race -run 'TestRunnerHammer' -count 2 ./internal/experiment/runner
 
-# The runner's reproducibility contract: results bit-identical across
+# The discrete-event simulator's concurrency surface under the race
+# detector: multiple observers draining blocking capture channels while
+# the event loop runs and the health registry is polled.
+racesim:
+	$(GO) test -race -run 'TestSimConcurrentObservers' -count 4 ./internal/zigbee/sim
+
+# The reproducibility contracts: Monte-Carlo results bit-identical across
 # worker counts {1,4,8}, sweep-order permutations, and checkpoint/resume
-# boundaries.
+# boundaries; simulator capture sequences bit-identical across same-seed
+# runs and event-batch sizes.
 determinism:
 	$(GO) test -run 'DeterministicAcrossWorkers|OrderIndependent|CheckpointResume|CancellationAndResume|ShuffledPointOrder' -count 1 ./internal/experiment ./internal/experiment/runner
+	$(GO) test -run 'TestSimDeterministic|TestSimSeedsDiverge|TestRunDeterministicDigest' -count 1 ./internal/zigbee/sim ./cmd/wazabeesim
 
 # One-shot link diagnostics over the simulated medium: exercises the
 # whole TX → medium → RX → LinkStats path from the CLI.
@@ -63,4 +71,4 @@ SMOKE_HEALTH_ADDR ?= 127.0.0.1:19753
 smoke-health:
 	./scripts/smoke-health.sh "$(SMOKE_HEALTH_ADDR)"
 
-ci: vet build test race racestream racerunner determinism fuzz smoke smoke-health
+ci: vet build test race racestream racerunner racesim determinism fuzz smoke smoke-health

@@ -1,6 +1,9 @@
 package ieee802154
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 const (
 	// FirstChannel and LastChannel bound the 2.4 GHz O-QPSK channel page
@@ -16,7 +19,47 @@ const (
 
 	// ChannelBandwidthMHz is the occupied bandwidth of one channel.
 	ChannelBandwidthMHz = 2
+
+	// SymbolRate is the O-QPSK symbol rate: ChipRate / ChipsPerSymbol,
+	// 62.5 ksymbol/s (16 µs per symbol).
+	SymbolRate = ChipRate / ChipsPerSymbol
+
+	// SymbolDuration is the on-air time of one 4-bit symbol.
+	SymbolDuration = time.Second / SymbolRate
+
+	// UnitBackoffPeriod is aUnitBackoffPeriod: the CSMA-CA backoff slot,
+	// 20 symbols (320 µs).
+	UnitBackoffPeriod = 20 * SymbolDuration
+
+	// TurnaroundTime is aTurnaroundTime: the RX-to-TX (or TX-to-RX)
+	// switching time, 12 symbols (192 µs). It is both the gap between a
+	// clear-channel assessment and the transmission it clears, and the
+	// delay before an acknowledgement frame starts.
+	TurnaroundTime = 12 * SymbolDuration
+
+	// MinBE, MaxBE and MaxCSMABackoffs are the default CSMA-CA
+	// parameters (macMinBE, macMaxBE, macMaxCSMABackoffs).
+	MinBE           = 3
+	MaxBE           = 5
+	MaxCSMABackoffs = 4
+
+	// MaxFrameRetries is macMaxFrameRetries: how many times an
+	// acknowledged transmission is retried before being declared failed.
+	MaxFrameRetries = 3
+
+	// AckWaitDuration is macAckWaitDuration for the 2.4 GHz PHY: the
+	// longest a transmitter waits for an acknowledgement before
+	// retrying, 54 symbols (864 µs) plus the ACK airtime margin.
+	AckWaitDuration = 54 * SymbolDuration
 )
+
+// FrameDuration returns the on-air time of a PPDU carrying a PSDU of the
+// given length: the synchronisation header (4 preamble octets + SFD), the
+// PHR length octet and the payload, at two symbols per octet.
+func FrameDuration(psduLen int) time.Duration {
+	octets := PreambleLength + 2 + psduLen
+	return time.Duration(octets) * SymbolsPerByte * SymbolDuration
+}
 
 // ChannelFrequencyMHz implements equation (6) of the paper: the centre
 // frequency in MHz of 802.15.4 channel k (11..26) is 2405 + 5(k-11).

@@ -48,6 +48,10 @@ type Medium struct {
 
 	rnd         *rand.Rand
 	interferers []WiFiInterferer
+
+	// perCacheState memoises the virtual-tier frame-success probability
+	// (see DeliverVirtual); zero value is ready to use.
+	perCacheState perCache
 }
 
 // NewMedium builds a medium with the given sample rate and seed. All

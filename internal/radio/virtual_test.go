@@ -1,0 +1,99 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"wazabee/internal/obs"
+)
+
+func TestDeliverVirtualPassbandGate(t *testing.T) {
+	m, err := NewMedium(16e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Obs = obs.NewRegistry()
+	link := Link{SNRdB: 30}
+
+	out := m.DeliverVirtual(20, 2420, 2470, link, 1)
+	if out.InBand || out.Delivered {
+		t.Errorf("out-of-band delivery reported %+v", out)
+	}
+	out = m.DeliverVirtual(20, 2420, 2420, link, 1)
+	if !out.InBand {
+		t.Error("co-channel transmission not in band")
+	}
+	if !out.Delivered {
+		t.Error("30 dB co-channel frame erased (success prob should be ~1)")
+	}
+	if out.SuccessProb < 0.999 {
+		t.Errorf("success prob %g at 30 dB, want ~1", out.SuccessProb)
+	}
+}
+
+func TestDeliverVirtualDeterministicInSeed(t *testing.T) {
+	m1, _ := NewMedium(16e6, 1)
+	m2, _ := NewMedium(16e6, 99) // different medium seed must not matter
+	m1.Obs = obs.NewRegistry()
+	m2.Obs = obs.NewRegistry()
+	link := Link{SNRdB: 1.5} // deep in the erasure regime
+	for seed := uint64(0); seed < 512; seed++ {
+		a := m1.DeliverVirtual(60, 2420, 2420, link, seed)
+		b := m2.DeliverVirtual(60, 2420, 2420, link, seed)
+		if a != b {
+			t.Fatalf("seed %d: outcomes diverge: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+func TestDeliverVirtualErasureRateTracksProbability(t *testing.T) {
+	m, _ := NewMedium(16e6, 1)
+	m.Obs = obs.NewRegistry()
+	link := Link{SNRdB: 2}
+	const trials = 20000
+	delivered := 0
+	var prob float64
+	for seed := uint64(0); seed < trials; seed++ {
+		out := m.DeliverVirtual(40, 2420, 2420, link, seed)
+		prob = out.SuccessProb
+		if out.Delivered {
+			delivered++
+		}
+	}
+	if prob <= 0 || prob >= 1 {
+		t.Fatalf("success prob %g not in the mixed regime; pick a different SNR", prob)
+	}
+	got := float64(delivered) / trials
+	// Binomial std dev ~ sqrt(p(1-p)/n); allow 5 sigma.
+	tol := 5 * math.Sqrt(prob*(1-prob)/trials)
+	if math.Abs(got-prob) > tol {
+		t.Errorf("delivered rate %.4f vs model prob %.4f (tol %.4f)", got, prob, tol)
+	}
+}
+
+func TestDeliverVirtualAdjacentChannelPenalty(t *testing.T) {
+	m, _ := NewMedium(16e6, 1)
+	m.Obs = obs.NewRegistry()
+	link := Link{SNRdB: 12}
+	co := m.DeliverVirtual(40, 2420, 2420, link, 7)
+	adj := m.DeliverVirtual(40, 2420, 2421, link, 7)
+	if !adj.InBand {
+		t.Fatal("adjacent channel should still be in band")
+	}
+	if adj.SuccessProb >= co.SuccessProb {
+		t.Errorf("adjacent-channel success prob %g not below co-channel %g", adj.SuccessProb, co.SuccessProb)
+	}
+}
+
+func TestBinomialCDF(t *testing.T) {
+	if got := binomialCDF(32, 6, 0); got != 1 {
+		t.Errorf("p=0 CDF %g, want 1", got)
+	}
+	if got := binomialCDF(32, 6, 1); got != 0 {
+		t.Errorf("p=1 CDF %g, want 0", got)
+	}
+	// P[Bin(4, 0.5) <= 2] = (1+4+6)/16.
+	if got, want := binomialCDF(4, 2, 0.5), 11.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Bin(4,0.5) CDF %g, want %g", got, want)
+	}
+}

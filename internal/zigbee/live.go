@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wazabee/internal/dsp"
+	vsim "wazabee/internal/zigbee/sim"
 )
 
 // Capture couples one attacker-audible waveform with the metadata a
@@ -45,11 +46,12 @@ type CaptureChunk struct {
 	Last bool
 }
 
-// LiveNetwork runs the victim network in real time: a background
-// goroutine ticks the sensor at its reporting interval (two seconds in
-// the paper's setup, configurable for tests) and streams the
-// attacker-audible captures to a channel, so a sniffer can consume
-// traffic as it happens instead of stepping the simulation manually.
+// LiveNetwork runs the victim network in real time. It is a thin
+// real-time pacer over the discrete-event core in internal/zigbee/sim:
+// the reporting loop is a recurring scheduler event (tick → emit →
+// reschedule) and a sim.Pacer sleeps until each event's wall deadline —
+// real-time operation is a pacing policy over the same event queue the
+// virtual-time simulator drives, not a separate code path.
 //
 // While a LiveNetwork is running it owns its Simulation; interact with
 // the simulation again only after Shutdown returns.
@@ -58,6 +60,9 @@ type LiveNetwork struct {
 	interval       time.Duration
 	captureChannel int
 	chunk          int
+
+	sched *vsim.Scheduler
+	seq   uint64
 
 	captures chan Capture
 	chunks   chan CaptureChunk
@@ -73,7 +78,7 @@ type LiveNetwork struct {
 // where the observer's radio is tuned. The returned LiveNetwork must be
 // stopped with Shutdown.
 func StartLive(sim *Simulation, interval time.Duration, captureChannel int) (*LiveNetwork, error) {
-	return startLive(sim, interval, captureChannel, 0)
+	return startLive(sim, interval, captureChannel, 0, nil)
 }
 
 // StartLiveChunked is the chunked delivery mode for streaming
@@ -85,11 +90,14 @@ func StartLiveChunked(sim *Simulation, interval time.Duration, captureChannel, c
 	if chunk <= 0 {
 		return nil, fmt.Errorf("zigbee: chunk size %d <= 0", chunk)
 	}
-	return startLive(sim, interval, captureChannel, chunk)
+	return startLive(sim, interval, captureChannel, chunk, nil)
 }
 
-func startLive(sim *Simulation, interval time.Duration, captureChannel, chunk int) (*LiveNetwork, error) {
-	if sim == nil {
+// startLive validates and launches the paced event loop. clock nil uses
+// the system wall clock; tests inject a sim.ManualClock to drive the
+// pacing deterministically.
+func startLive(s *Simulation, interval time.Duration, captureChannel, chunk int, clock vsim.WallClock) (*LiveNetwork, error) {
+	if s == nil {
 		return nil, fmt.Errorf("zigbee: nil simulation")
 	}
 	if interval <= 0 {
@@ -99,16 +107,18 @@ func startLive(sim *Simulation, interval time.Duration, captureChannel, chunk in
 		return nil, err
 	}
 	l := &LiveNetwork{
-		sim:            sim,
+		sim:            s,
 		interval:       interval,
 		captureChannel: captureChannel,
 		chunk:          chunk,
+		sched:          vsim.NewScheduler(),
 		captures:       make(chan Capture, 1),
 		chunks:         make(chan CaptureChunk, 1),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
 	}
-	go l.run()
+	l.sched.After(interval, l.tick)
+	go l.run(clock)
 	return l, nil
 }
 
@@ -139,49 +149,55 @@ func (l *LiveNetwork) Shutdown() {
 	<-l.done
 }
 
-func (l *LiveNetwork) run() {
+// run paces the event queue against the wall clock. The loop ends when
+// the queue drains — which happens exactly when a tick declines to
+// reschedule itself (error or stop) — or when stop interrupts a sleep.
+func (l *LiveNetwork) run(clock vsim.WallClock) {
 	defer close(l.done)
 	defer close(l.captures)
 	defer close(l.chunks)
+	p := &vsim.Pacer{Sched: l.sched, Clock: clock}
+	p.Run(l.stop)
+}
 
-	ticker := time.NewTicker(l.interval)
-	defer ticker.Stop()
-	var seq uint64
-	for {
+// tick is the recurring reporting event: step the simulation, emit the
+// capture, schedule the next period. Returning without rescheduling
+// drains the queue and ends the run.
+func (l *LiveNetwork) tick() {
+	select {
+	case <-l.stop:
+		return
+	default:
+	}
+	sig, err := l.sim.Step(l.captureChannel)
+	if err != nil {
+		l.mu.Lock()
+		l.err = err
+		l.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	capture := Capture{
+		IQ:        sig,
+		At:        now,
+		Origin:    now,
+		Channel:   l.captureChannel,
+		Seq:       l.seq,
+		LinkSNRdB: l.sim.AttackerLink.SNRdB,
+	}
+	l.seq++
+	if l.chunk > 0 {
+		if !l.emitChunks(capture) {
+			return
+		}
+	} else {
 		select {
+		case l.captures <- capture:
 		case <-l.stop:
 			return
-		case <-ticker.C:
-			sig, err := l.sim.Step(l.captureChannel)
-			if err != nil {
-				l.mu.Lock()
-				l.err = err
-				l.mu.Unlock()
-				return
-			}
-			now := time.Now()
-			capture := Capture{
-				IQ:        sig,
-				At:        now,
-				Origin:    now,
-				Channel:   l.captureChannel,
-				Seq:       seq,
-				LinkSNRdB: l.sim.AttackerLink.SNRdB,
-			}
-			seq++
-			if l.chunk > 0 {
-				if !l.emitChunks(capture) {
-					return
-				}
-				continue
-			}
-			select {
-			case l.captures <- capture:
-			case <-l.stop:
-				return
-			}
 		}
 	}
+	l.sched.After(l.interval, l.tick)
 }
 
 // emitChunks slices one capture into chunk-sized slabs and streams them

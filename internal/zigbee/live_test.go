@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wazabee/internal/ieee802154"
+	vsim "wazabee/internal/zigbee/sim"
 )
 
 func TestStartLiveValidation(t *testing.T) {
@@ -129,13 +130,23 @@ func TestLiveNetworkStopWhileBlocked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	live, err := StartLive(sim, time.Millisecond, DefaultChannel)
+	// Drive the pacer with a manual clock instead of sleeping and hoping
+	// the producer reached the blocked state: each Advance fires exactly
+	// one reporting tick, so the producer's position is known at every
+	// step of the test.
+	clock := vsim.NewManualClock()
+	live, err := startLive(sim, time.Millisecond, DefaultChannel, 0, clock)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Never consume captures: the producer blocks on the channel; a
-	// shutdown must still complete promptly.
-	time.Sleep(20 * time.Millisecond)
+	// Never consume captures. Tick 1 fills the one-slot channel buffer;
+	// tick 2 blocks the producer mid-send.
+	clock.AwaitTimers(1)
+	clock.Advance(time.Millisecond)
+	clock.AwaitTimers(2)
+	clock.Advance(time.Millisecond)
+	// A shutdown must still complete promptly, whether the producer is
+	// mid-send or between events.
 	done := make(chan struct{})
 	go func() {
 		live.Shutdown()

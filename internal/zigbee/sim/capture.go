@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"time"
+)
+
+// FrameCapture is one transmission as an ideal channel probe sees it:
+// every frame put on the air on the channel, flagged when it overlapped
+// another transmission. This is the simulator's observable surface — the
+// determinism contract promises a byte-identical capture sequence for a
+// given (topology, config) at any event-batch size.
+type FrameCapture struct {
+	// At is the virtual time the transmission started.
+	At time.Duration
+	// Channel is the 802.15.4 channel the frame went out on.
+	Channel int
+	// Seq is the global capture sequence number, dense and strictly
+	// increasing across all channels.
+	Seq uint64
+	// Src is the simulator index of the transmitting node.
+	Src int
+	// Kind labels the MAC frame type ("beacon", "data", "ack", ...).
+	Kind string
+	// Collided reports that the transmission overlapped another in one
+	// of its collision domains; collided frames are never delivered.
+	Collided bool
+	// PSDU is the encoded MAC frame.
+	PSDU []byte
+}
+
+// Tap registers a synchronous capture callback for one channel. Taps run
+// inline on the event loop — keep them fast and do not call back into
+// the network. Register before Run; taps are not synchronised.
+func (nw *Network) Tap(channel int, fn func(FrameCapture)) {
+	nw.taps[channel] = append(nw.taps[channel], fn)
+}
+
+// Observer is an asynchronous capture consumer: a buffered channel fed
+// by the event loop. Sends block when the buffer fills, pausing virtual
+// time until the consumer drains — deliberately, so a slow consumer
+// produces backpressure (and eventually a degraded health probe) instead
+// of silent loss.
+type Observer struct {
+	ch     chan FrameCapture
+	closed bool
+}
+
+// C returns the capture stream. It is closed by CloseObservers.
+func (o *Observer) C() <-chan FrameCapture { return o.ch }
+
+// Observe registers a buffered observer on one channel. Register before
+// Run; the returned channel is safe to consume from other goroutines
+// while the event loop executes.
+func (nw *Network) Observe(channel, buffer int) *Observer {
+	if buffer < 1 {
+		buffer = 1
+	}
+	o := &Observer{ch: make(chan FrameCapture, buffer)}
+	nw.observers[channel] = append(nw.observers[channel], o)
+	return o
+}
+
+// CloseObservers closes every observer channel. Call after the final
+// Run, from the driving goroutine.
+func (nw *Network) CloseObservers() {
+	for _, obsList := range nw.observers {
+		for _, o := range obsList {
+			if !o.closed {
+				o.closed = true
+				close(o.ch)
+			}
+		}
+	}
+}
+
+// publishCapture fans a finished transmission out to the channel's taps
+// and observers. Observer sends may block on a full buffer; the wall
+// clock around the send is stamped so the health probe can tell a
+// stalled consumer from an idle loop.
+func (nw *Network) publishCapture(tx *transmission) {
+	taps := nw.taps[tx.channel]
+	observers := nw.observers[tx.channel]
+	if len(taps) == 0 && len(observers) == 0 {
+		return
+	}
+	fc := FrameCapture{
+		At:       tx.start,
+		Channel:  tx.channel,
+		Seq:      tx.seq,
+		Src:      tx.src,
+		Kind:     tx.kind.String(),
+		Collided: tx.collided,
+		PSDU:     tx.psdu,
+	}
+	for _, fn := range taps {
+		fn(fc)
+	}
+	for _, o := range observers {
+		select {
+		case o.ch <- fc:
+		default:
+			nw.sendBlockedSince.Store(time.Now().UnixNano())
+			o.ch <- fc
+			nw.sendBlockedSince.Store(0)
+		}
+	}
+}
+
+// DigestRecorder folds a capture stream into a SHA-256 digest — the
+// oracle behind the determinism tests and `wazabeesim -digest`. Two runs
+// are byte-identical iff their digests match.
+type DigestRecorder struct {
+	h      [32]byte
+	hasher interface {
+		Write(p []byte) (int, error)
+		Sum(b []byte) []byte
+	}
+	frames uint64
+	buf    []byte
+}
+
+// NewDigestRecorder returns an empty recorder.
+func NewDigestRecorder() *DigestRecorder {
+	return &DigestRecorder{hasher: sha256.New()}
+}
+
+// Record folds one capture into the digest using a canonical
+// little-endian encoding of every observable field.
+func (d *DigestRecorder) Record(fc FrameCapture) {
+	d.buf = d.buf[:0]
+	d.buf = binary.LittleEndian.AppendUint64(d.buf, uint64(fc.At))
+	d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(fc.Channel))
+	d.buf = binary.LittleEndian.AppendUint64(d.buf, fc.Seq)
+	d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(fc.Src))
+	var collided byte
+	if fc.Collided {
+		collided = 1
+	}
+	d.buf = append(d.buf, collided)
+	d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(len(fc.PSDU)))
+	d.buf = append(d.buf, fc.PSDU...)
+	d.hasher.Write(d.buf)
+	d.frames++
+}
+
+// Frames returns how many captures were folded in.
+func (d *DigestRecorder) Frames() uint64 { return d.frames }
+
+// Sum returns the hex digest of everything recorded so far.
+func (d *DigestRecorder) Sum() string {
+	return hex.EncodeToString(d.hasher.Sum(nil))
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// WallClock abstracts wall time for the Pacer, so real-time pacing can
+// be driven deterministically in tests via ManualClock.
+type WallClock interface {
+	// Now returns the current wall time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// systemClock is the real wall clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SystemClock returns the real wall clock.
+func SystemClock() WallClock { return systemClock{} }
+
+// ManualClock is a test clock: time stands still until Advance moves it,
+// firing any timers that come due. It lets pacing tests replace sleeps
+// with explicit clock control.
+type ManualClock struct {
+	mu         sync.Mutex
+	armedMore  *sync.Cond
+	now        time.Time
+	timers     []*manualTimer
+	armedTotal int
+}
+
+type manualTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManualClock returns a manual clock starting at an arbitrary fixed
+// instant.
+func NewManualClock() *ManualClock {
+	c := &ManualClock{now: time.Unix(1_700_000_000, 0)}
+	c.armedMore = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the manual clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After arms a timer d from now. Already-due timers (d <= 0) fire
+// immediately.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- c.now
+	} else {
+		c.timers = append(c.timers, t)
+	}
+	c.armedTotal++
+	c.armedMore.Broadcast()
+	return t.ch
+}
+
+// Advance moves the clock forward by d, firing every timer that comes
+// due (in arming order; the Pacer only ever has one outstanding).
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+// AwaitTimers blocks until total timers have been armed since the clock
+// was created — the synchronisation point tests use before Advance, so
+// "the pacer is waiting on its next deadline" never needs a sleep.
+func (c *ManualClock) AwaitTimers(total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.armedTotal < total {
+		c.armedMore.Wait()
+	}
+}

@@ -1,0 +1,604 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
+	"wazabee/internal/radio"
+)
+
+// MAC timing not covered by the ieee802154 constants.
+const (
+	// assocRespDelay stands in for the indirect-transmission poll of
+	// the standard's association sequence: the coordinator answers a
+	// request with a direct response after this delay.
+	assocRespDelay = 2 * time.Millisecond
+	// assocRespWait approximates macResponseWaitTime: how long a joiner
+	// waits for the association response before rescanning.
+	assocRespWait = 500 * time.Millisecond
+	// scanRetryBase is the first rescan backoff; it doubles per failed
+	// scan up to scanRetryCap.
+	scanRetryBase = 100 * time.Millisecond
+	scanRetryCap  = 5 * time.Second
+)
+
+// ---------------------------------------------------------------------
+// Periodic behaviours
+
+// beaconLoop emits one beacon and reschedules itself — the 2-second
+// cadence of the acceptance scenario. Routers start their loop when
+// they join.
+func (nw *Network) beaconLoop(n *node) {
+	if n.state == stateJoined {
+		n.seq++
+		frame := ieee802154.NewBeacon(n.seq, n.pan, n.short)
+		nw.enqueueTx(n, &outgoing{kind: kindBeacon, frame: frame, mode: targetBeaconAudience})
+	}
+	nw.sched.After(nw.cfg.BeaconInterval, func() { nw.beaconLoop(n) })
+}
+
+// dataLoop emits one sensor reading towards the node's parent and
+// reschedules itself.
+func (nw *Network) dataLoop(n *node) {
+	if n.state == stateJoined {
+		n.reading++
+		n.seq++
+		frame := ieee802154.NewDataFrame(n.seq, n.pan, n.parentShort, n.short, sensorPayload(n.reading, 0), true)
+		nw.enqueueTx(n, &outgoing{kind: kindData, frame: frame, mode: targetNode, to: n.parentID, needAck: true})
+	}
+	nw.sched.After(nw.cfg.DataInterval, func() { nw.dataLoop(n) })
+}
+
+// sensorPayload encodes a reading the way the live sensor does: a tag
+// octet, the big-endian value and a hop count routers increment while
+// forwarding.
+func sensorPayload(reading uint16, hops uint8) []byte {
+	return []byte{0x77, byte(reading >> 8), byte(reading), hops}
+}
+
+// ---------------------------------------------------------------------
+// Join state machine
+
+// startScan begins an active scan: broadcast a beacon request, collect
+// beacons until the scan window closes.
+func (nw *Network) startScan(n *node) {
+	if n.state == stateJoined {
+		return
+	}
+	n.state = stateScanning
+	n.joinGen++
+	n.heard = n.heard[:0]
+	n.seq++
+	frame := ieee802154.NewBeaconRequest(n.seq)
+	nw.enqueueTx(n, &outgoing{kind: kindBeaconRequest, frame: frame, mode: targetParent})
+	gen := n.joinGen
+	nw.sched.After(nw.cfg.ScanDuration, func() { nw.scanEnd(n, gen) })
+}
+
+// scanEnd closes the scan window: pick a parent from the collected
+// beacons (the intended topology parent wins; ties break on the lowest
+// node index) and associate, or back off and rescan.
+func (nw *Network) scanEnd(n *node, gen uint64) {
+	if n.state != stateScanning || n.joinGen != gen {
+		return
+	}
+	if len(n.heard) == 0 {
+		nw.rescan(n)
+		return
+	}
+	best := n.heard[0]
+	for _, b := range n.heard[1:] {
+		if b.src == n.spec.Parent {
+			best = b
+			break
+		}
+		if best.src != n.spec.Parent && b.src < best.src {
+			best = b
+		}
+	}
+	n.parentID = best.src
+	n.parentShort = best.short
+	n.pan = best.pan
+	n.state = stateWaitAssoc
+	n.seq++
+	capability := byte(0x88) // RX on when idle, allocate address
+	if n.spec.Role == RoleRouter {
+		capability = 0x8e // + FFD, mains powered
+	}
+	frame := ieee802154.NewAssociationRequest(n.seq, n.pan, n.parentShort, capability)
+	nw.enqueueTx(n, &outgoing{kind: kindAssocRequest, frame: frame, mode: targetNode, to: n.parentID, needAck: true})
+}
+
+// rescan backs off exponentially and starts another scan.
+func (nw *Network) rescan(n *node) {
+	if n.state == stateJoined {
+		return
+	}
+	n.state = stateIdle
+	n.joinGen++
+	backoff := scanRetryBase << n.scanRetries
+	if backoff > scanRetryCap {
+		backoff = scanRetryCap
+	}
+	if n.scanRetries < 16 {
+		n.scanRetries++
+	}
+	nw.sched.After(backoff+nw.jitter(n, scanRetryBase), func() { nw.startScan(n) })
+}
+
+// completeJoin finalises an association on the joiner's side.
+func (nw *Network) completeJoin(n *node, assigned uint16) {
+	n.short = assigned
+	n.state = stateJoined
+	n.joinGen++
+	n.scanRetries = 0
+	nw.stats.Joins++
+	nw.stats.Joined++
+	nw.cJoins.Inc()
+	nw.noteJoinedGauge()
+	nw.sched.After(nw.jitter(n, nw.cfg.DataInterval), func() { nw.dataLoop(n) })
+	if n.spec.Role == RoleRouter {
+		n.permitJoin = true
+		nw.allocNext[n.id] = 0 // unused; allocation is per root
+		nw.sched.After(nw.jitter(n, nw.cfg.BeaconInterval), func() { nw.beaconLoop(n) })
+	}
+}
+
+// allocShort hands out the next free short address of the root
+// coordinator's PAN — the simulator's stand-in for the distributed
+// Cskip scheme, centralised for uniqueness.
+func (nw *Network) allocShort(root int) uint16 {
+	next := nw.allocNext[root]
+	if next == 0 {
+		next = 1
+	}
+	for next == 0x0000 || next >= ieee802154.NoShortAddress {
+		next++ // wrapped: skip reserved values (exhaustion reuses low space)
+	}
+	nw.allocNext[root] = next + 1
+	return next
+}
+
+// ---------------------------------------------------------------------
+// CSMA-CA transmit path
+
+// enqueueTx queues a frame on the node's single radio and starts the
+// CSMA-CA transaction when the radio is idle.
+func (nw *Network) enqueueTx(n *node, out *outgoing) {
+	psdu, err := out.frame.Encode()
+	if err != nil {
+		// Frames are built by this package; an encode failure is a bug,
+		// not a runtime condition. Drop loudly via the failure counter.
+		nw.cCCAFail.Inc()
+		return
+	}
+	out.psdu = psdu
+	n.queue = append(n.queue, out)
+	nw.processQueue(n)
+}
+
+// processQueue starts the next queued transmission when the radio is
+// idle.
+func (nw *Network) processQueue(n *node) {
+	if n.txBusy || len(n.queue) == 0 {
+		return
+	}
+	out := n.queue[0]
+	copy(n.queue, n.queue[1:])
+	n.queue[len(n.queue)-1] = nil
+	n.queue = n.queue[:len(n.queue)-1]
+	n.txBusy = true
+	out.be = ieee802154.MinBE
+	out.ncb = 0
+	nw.csmaBackoff(n, out)
+}
+
+// csmaBackoff draws a backoff and schedules the clear-channel
+// assessment.
+func (nw *Network) csmaBackoff(n *node, out *outgoing) {
+	slots := n.rng.Intn(1 << out.be)
+	nw.stats.Backoffs++
+	nw.cBackoffs.Inc()
+	nw.sched.After(time.Duration(slots)*ieee802154.UnitBackoffPeriod, func() { nw.cca(n, out) })
+}
+
+// cca performs the clear-channel assessment: busy carriers re-enter the
+// backoff loop, a clear carrier transmits after the turnaround time. The
+// node's own radio counts as a carrier — a single half-duplex transceiver
+// cannot pass CCA while committed to an acknowledgement it has yet to
+// finish transmitting.
+func (nw *Network) cca(n *node, out *outgoing) {
+	now := nw.sched.Now()
+	busy := now < n.radioBusyUntil
+	for _, cell := range nw.cellsOf(n) {
+		if busy {
+			break
+		}
+		if cell != nil && cell.busy(now) {
+			busy = true
+		}
+	}
+	if busy {
+		out.ncb++
+		if out.ncb > ieee802154.MaxCSMABackoffs {
+			nw.stats.CCAFailures++
+			nw.cCCAFail.Inc()
+			nw.txFailed(n, out)
+			n.txBusy = false
+			nw.processQueue(n)
+			return
+		}
+		if out.be < ieee802154.MaxBE {
+			out.be++
+		}
+		nw.csmaBackoff(n, out)
+		return
+	}
+	nw.sched.After(ieee802154.TurnaroundTime, func() { nw.txStart(n, out, false) })
+}
+
+// txStart puts the frame on the air. acks bypass CSMA entirely
+// (immediate=true): the standard transmits them a turnaround after the
+// frame they acknowledge.
+func (nw *Network) txStart(n *node, out *outgoing, immediate bool) {
+	nw.frameSeq++
+	now := nw.sched.Now()
+	tx := &transmission{
+		src:       n.id,
+		channel:   n.spec.Channel,
+		kind:      out.kind,
+		frame:     out.frame,
+		psdu:      out.psdu,
+		mode:      out.mode,
+		to:        out.to,
+		seq:       nw.frameSeq,
+		start:     now,
+		end:       now + ieee802154.FrameDuration(len(out.psdu)),
+		needAck:   out.needAck,
+		destOwner: nw.destCellOwner(n, out),
+	}
+	for _, owner := range nw.cellOwners(n) {
+		if owner >= 0 {
+			nw.cell(owner).add(owner, tx)
+		}
+	}
+	if tx.end > n.radioBusyUntil {
+		n.radioBusyUntil = tx.end
+	}
+	nw.noteFrame(tx)
+	nw.sched.At(tx.end, func() { nw.txEnd(n, out, tx, immediate) })
+}
+
+// noteFrame accounts one transmission.
+func (nw *Network) noteFrame(tx *transmission) {
+	nw.stats.Frames++
+	nw.cFrames[tx.kind].Inc()
+	switch tx.kind {
+	case kindBeacon:
+		nw.stats.Beacons++
+	case kindData:
+		nw.stats.DataFrames++
+	case kindAck:
+		nw.stats.Acks++
+	default:
+		nw.stats.Commands++
+	}
+}
+
+// txEnd takes the frame off the air, reports it to the channel's
+// observers and delivers it to its recipients.
+func (nw *Network) txEnd(n *node, out *outgoing, tx *transmission, immediate bool) {
+	for _, cell := range nw.cellsOf(n) {
+		if cell != nil {
+			cell.remove(tx)
+		}
+	}
+	if tx.collided {
+		nw.stats.Collisions++
+		nw.cCollisions.Inc()
+	}
+	nw.publishCapture(tx)
+
+	if !tx.collided {
+		link := radio.Link{SNRdB: nw.cfg.SNRdB}
+		f := nw.freq[tx.channel]
+		for _, rxID := range nw.recipients(tx) {
+			rx := nw.nodes[rxID]
+			if rx.radioBusyUntil > tx.start {
+				// Half-duplex: the receiver was transmitting during some
+				// of the frame and never demodulated it.
+				nw.stats.DeafMisses++
+				nw.cDeaf.Inc()
+				continue
+			}
+			outcome := nw.med.DeliverVirtual(len(tx.psdu), f, f, link, deliverySeed(nw.cfg.Seed, tx.seq, rxID))
+			if !outcome.Delivered {
+				nw.stats.Erasures++
+				nw.cErasures.Inc()
+				continue
+			}
+			nw.handleFrame(rx, tx)
+		}
+	}
+
+	if immediate {
+		// Acks do not hold the radio's CSMA transaction slot.
+		return
+	}
+	if tx.needAck {
+		n.awaiting = out
+		gen := n.ackGen
+		nw.sched.After(ieee802154.AckWaitDuration+ieee802154.FrameDuration(5), func() { nw.onAckTimeout(n, gen) })
+		return
+	}
+	n.txBusy = false
+	nw.processQueue(n)
+}
+
+// recipients resolves a transmission's delivery set in deterministic
+// order. Interest-filtered propagation: the simulator delivers a frame
+// only to nodes whose MAC would act on it (the addressed node, the
+// scan neighborhood, beacon audiences), while the per-cell airs keep
+// contention physical. Observers still see every frame.
+func (nw *Network) recipients(tx *transmission) []int {
+	switch tx.mode {
+	case targetNode:
+		return []int{tx.to}
+	case targetParent:
+		parent := nw.nodes[tx.src].spec.Parent
+		if parent < 0 {
+			return nil
+		}
+		p := nw.nodes[parent]
+		if p.state == stateJoined && p.permitJoin {
+			return []int{parent}
+		}
+		return nil
+	case targetBeaconAudience:
+		kids := nw.topoKids[tx.src]
+		coords := nw.coordsOn[tx.channel]
+		audience := make([]int, 0, len(kids)+len(coords))
+		audience = append(audience, kids...)
+		for _, c := range coords {
+			if c != tx.src {
+				audience = append(audience, c)
+			}
+		}
+		return audience
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Receive paths
+
+// handleFrame dispatches one delivered frame on the receiving node.
+func (nw *Network) handleFrame(r *node, tx *transmission) {
+	switch tx.kind {
+	case kindAck:
+		nw.handleAck(r, tx)
+	case kindBeacon:
+		nw.handleBeacon(r, tx)
+	case kindBeaconRequest:
+		nw.handleBeaconRequest(r, tx)
+	case kindAssocRequest:
+		nw.sendAck(r, tx)
+		nw.handleAssocRequest(r, tx)
+	case kindAssocResponse:
+		nw.sendAck(r, tx)
+		nw.handleAssocResponse(r, tx)
+	case kindData:
+		nw.sendAck(r, tx)
+		nw.handleData(r, tx)
+	}
+}
+
+// sendAck transmits the immediate acknowledgement for a received frame:
+// one turnaround after the frame, no CSMA, no queueing. The radio is
+// committed from this instant — marking it busy through the ack's end
+// keeps the node's own CSMA path from passing CCA into its ack.
+func (nw *Network) sendAck(r *node, tx *transmission) {
+	if !tx.needAck {
+		return
+	}
+	ack := &outgoing{kind: kindAck, frame: ieee802154.NewAck(tx.frame.Seq), mode: targetNode, to: tx.src}
+	psdu, err := ack.frame.Encode()
+	if err != nil {
+		return
+	}
+	ack.psdu = psdu
+	ackEnd := nw.sched.Now() + ieee802154.TurnaroundTime + ieee802154.FrameDuration(len(psdu))
+	if ackEnd > r.radioBusyUntil {
+		r.radioBusyUntil = ackEnd
+	}
+	nw.sched.After(ieee802154.TurnaroundTime, func() { nw.txStart(r, ack, true) })
+}
+
+// handleAck completes the sender's pending acknowledged transmission.
+func (nw *Network) handleAck(r *node, tx *transmission) {
+	out := r.awaiting
+	if out == nil || out.frame.Seq != tx.frame.Seq {
+		return
+	}
+	r.awaiting = nil
+	r.ackGen++
+	nw.txAcked(r, out)
+	r.txBusy = false
+	nw.processQueue(r)
+}
+
+// onAckTimeout retries or abandons an unacknowledged transmission.
+func (nw *Network) onAckTimeout(n *node, gen uint64) {
+	if n.ackGen != gen || n.awaiting == nil {
+		return
+	}
+	out := n.awaiting
+	n.awaiting = nil
+	n.ackGen++
+	out.retries++
+	if out.retries <= ieee802154.MaxFrameRetries {
+		out.be = ieee802154.MinBE
+		out.ncb = 0
+		nw.csmaBackoff(n, out)
+		return
+	}
+	nw.stats.AckFailures++
+	nw.cAckFail.Inc()
+	nw.txFailed(n, out)
+	n.txBusy = false
+	nw.processQueue(n)
+}
+
+// txAcked runs the post-acknowledgement hooks of a transmission.
+func (nw *Network) txAcked(n *node, out *outgoing) {
+	if out.kind == kindAssocRequest && n.state == stateWaitAssoc {
+		gen := n.joinGen
+		nw.sched.After(assocRespWait, func() {
+			if n.joinGen == gen && n.state != stateJoined {
+				nw.rescan(n)
+			}
+		})
+	}
+}
+
+// txFailed runs the failure fallbacks of an abandoned transmission.
+func (nw *Network) txFailed(n *node, out *outgoing) {
+	switch out.kind {
+	case kindAssocRequest:
+		if n.state == stateWaitAssoc {
+			nw.rescan(n)
+		}
+	case kindBeaconRequest:
+		// The scan window will close empty and back off by itself.
+	}
+}
+
+// handleBeaconRequest answers an active scan when this node can admit
+// the scanner.
+func (nw *Network) handleBeaconRequest(r *node, tx *transmission) {
+	if r.state != stateJoined || !r.permitJoin {
+		return
+	}
+	r.seq++
+	frame := ieee802154.NewBeacon(r.seq, r.pan, r.short)
+	nw.enqueueTx(r, &outgoing{kind: kindBeacon, frame: frame, mode: targetBeaconAudience})
+}
+
+// handleBeacon is the triple-duty beacon sink: scanners collect it,
+// joined children track their parent's PAN (adopting a post-conflict
+// migration), and coordinators detect PAN-ID conflicts.
+func (nw *Network) handleBeacon(r *node, tx *transmission) {
+	src := nw.nodes[tx.src]
+	switch {
+	case r.state == stateScanning:
+		for _, b := range r.heard {
+			if b.src == tx.src {
+				return
+			}
+		}
+		r.heard = append(r.heard, beaconHeard{src: tx.src, short: src.short, pan: src.pan})
+	case r.state == stateJoined && tx.src == r.parentID && src.pan != r.pan:
+		// Parent migrated PANs after a conflict: follow it. Routers
+		// propagate the move to their own children via their next
+		// beacon.
+		r.pan = src.pan
+	case r.spec.Role == RoleCoordinator && r.state == stateJoined:
+		if src.pan == r.pan && nw.rootOf[tx.src] != r.id {
+			nw.panConflict(r)
+		}
+	}
+}
+
+// panConflict resolves a detected PAN-ID collision: the coordinator
+// with the higher extended address rebinds to a fresh PAN drawn from
+// its private stream (both coordinators hear each other's beacons, so
+// exactly one of them moves). Children adopt the new PAN from
+// subsequent beacons.
+func (nw *Network) panConflict(c *node) {
+	for _, other := range nw.coordsOn[c.spec.Channel] {
+		o := nw.nodes[other]
+		if other != c.id && o.pan == c.pan && o.ext > c.ext {
+			return // the other coordinator owns the rebind
+		}
+	}
+	old := c.pan
+	next := c.pan
+	for next == old || next == ieee802154.BroadcastPAN || nw.panInUse(c.spec.Channel, next, c.id) {
+		next = uint16(c.rng.Intn(0xfffe) + 1)
+	}
+	c.pan = next
+	nw.stats.PANConflicts++
+	nw.cConflicts.Inc()
+	nw.flight.Record(obs.FlightEvent{
+		Kind: "state", Component: "sim", Frame: -1,
+		Detail: fmt.Sprintf("PAN conflict: coordinator %d rebind %#04x -> %#04x", c.id, old, next),
+	})
+}
+
+// panInUse reports whether another coordinator on the channel already
+// claims the PAN.
+func (nw *Network) panInUse(channel int, pan uint16, except int) bool {
+	for _, id := range nw.coordsOn[channel] {
+		if id != except && nw.nodes[id].pan == pan {
+			return true
+		}
+	}
+	return false
+}
+
+// handleAssocRequest admits a joiner: assign a short address and answer
+// with an association response after the response delay.
+func (nw *Network) handleAssocRequest(r *node, tx *transmission) {
+	if r.state != stateJoined || !r.permitJoin {
+		return
+	}
+	joiner := tx.src
+	assigned := nw.allocShort(nw.rootOf[r.id])
+	if !r.childSet[joiner] {
+		r.childSet[joiner] = true
+		r.children = append(r.children, joiner)
+	}
+	r.seq++
+	frame := ieee802154.NewAssociationResponse(r.seq, r.pan, ieee802154.NoShortAddress, assigned, ieee802154.AssocStatusSuccess)
+	nw.sched.After(assocRespDelay, func() {
+		nw.enqueueTx(r, &outgoing{kind: kindAssocResponse, frame: frame, mode: targetNode, to: joiner, needAck: true})
+	})
+}
+
+// handleAssocResponse completes the join on the device side.
+func (nw *Network) handleAssocResponse(r *node, tx *transmission) {
+	if r.state == stateJoined {
+		return
+	}
+	assigned, status, err := ieee802154.ParseAssociationResponse(tx.frame.Payload)
+	if err != nil || status != ieee802154.AssocStatusSuccess {
+		return
+	}
+	r.parentID = tx.src
+	r.parentShort = nw.nodes[tx.src].short
+	r.pan = nw.nodes[tx.src].pan
+	nw.completeJoin(r, assigned)
+}
+
+// handleData accepts a sensor reading: coordinators record it, routers
+// forward it towards their own parent with the hop count incremented.
+func (nw *Network) handleData(r *node, tx *transmission) {
+	payload := tx.frame.Payload
+	if len(payload) != 4 || payload[0] != 0x77 {
+		return
+	}
+	if r.spec.Role == RoleCoordinator {
+		nw.stats.Readings++
+		return
+	}
+	if r.state != stateJoined {
+		return
+	}
+	nw.stats.Forwarded++
+	fwd := []byte{payload[0], payload[1], payload[2], payload[3] + 1}
+	r.seq++
+	frame := ieee802154.NewDataFrame(r.seq, r.pan, r.parentShort, r.short, fwd, true)
+	nw.enqueueTx(r, &outgoing{kind: kindData, frame: frame, mode: targetNode, to: r.parentID, needAck: true})
+}

@@ -1,0 +1,496 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
+	"wazabee/internal/radio"
+)
+
+// nodeState is a node's MAC association state.
+type nodeState uint8
+
+const (
+	stateIdle nodeState = iota
+	stateScanning
+	stateWaitAssoc
+	stateJoined
+)
+
+// outgoing is one frame queued for CSMA-CA transmission.
+type outgoing struct {
+	kind    frameKind
+	frame   *ieee802154.MACFrame
+	psdu    []byte
+	mode    targetMode
+	to      int
+	needAck bool
+
+	retries int // acknowledged-retransmission count
+	be      int // current backoff exponent
+	ncb     int // CSMA backoff attempts this transmission
+}
+
+// node is one simulated device. All mutation happens on the event loop;
+// nothing here is touched concurrently.
+type node struct {
+	id   int
+	spec NodeSpec
+	rng  *rand.Rand
+
+	// ext is the 64-bit extended (IEEE) address; short is the 16-bit
+	// address assigned at association (0xFFFE before). PAN-ID conflict
+	// arbitration compares ext addresses.
+	ext   uint64
+	short uint16
+	pan   uint16
+
+	state   nodeState
+	seq     uint8
+	joinGen uint64 // invalidates stale scan/association timeouts
+
+	parentID    int
+	parentShort uint16
+	heard       []beaconHeard
+	scanRetries int
+
+	txBusy   bool
+	queue    []*outgoing
+	awaiting *outgoing
+	ackGen   uint64
+	// radioBusyUntil is when the node's own transceiver frees up —
+	// transmissions in flight plus acknowledgements it has committed to.
+	// A half-duplex radio neither passes CCA nor receives before then.
+	radioBusyUntil time.Duration
+
+	permitJoin bool
+	children   []int
+	childSet   map[int]bool
+
+	reading uint16
+}
+
+// beaconHeard is one beacon collected during an active scan.
+type beaconHeard struct {
+	src   int
+	short uint16
+	pan   uint16
+}
+
+// ExtAddrBase is the OUI prefix simulated extended addresses share with
+// the paper's XBee hardware.
+const ExtAddrBase = 0x00124b00_00000000
+
+// Config parameterises a virtual network. Zero values select the
+// defaults of the paper's setup (2-second cadence, 25 dB links).
+type Config struct {
+	// Seed drives every random draw via per-node splitmix64 streams.
+	Seed int64
+	// SNRdB is the per-link signal-to-noise ratio handed to the virtual
+	// medium's erasure model. Default 25.
+	SNRdB float64
+	// BeaconInterval is the coordinator/router beacon cadence. Default 2s.
+	BeaconInterval time.Duration
+	// DataInterval is the end-device (and router) reporting cadence.
+	// Default 2s.
+	DataInterval time.Duration
+	// ScanDuration is how long an active scan collects beacons. The
+	// default 140ms approximates the standard's ScanDuration=3 active
+	// scan and rides out CSMA queueing on a loaded parent.
+	ScanDuration time.Duration
+	// JoinSpread is the window over which unjoined nodes begin their
+	// first scan, bounding the association storm. Default 2s.
+	JoinSpread time.Duration
+	// StallAfter is how long a blocked observer send may last before
+	// the health component degrades. Default 2s of wall time.
+	StallAfter time.Duration
+
+	// Registry, Trace and Flight receive the simulator's telemetry;
+	// nil falls back to the process defaults.
+	Registry *obs.Registry
+	Trace    *obs.Trace
+	Flight   *obs.Flight
+}
+
+func (c *Config) fill() {
+	if c.SNRdB == 0 {
+		c.SNRdB = 25
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = 2 * time.Second
+	}
+	if c.DataInterval <= 0 {
+		c.DataInterval = 2 * time.Second
+	}
+	if c.ScanDuration <= 0 {
+		c.ScanDuration = 140 * time.Millisecond
+	}
+	if c.JoinSpread <= 0 {
+		c.JoinSpread = 2 * time.Second
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 2 * time.Second
+	}
+}
+
+// Stats is a snapshot of the network's counters. Read it between Run
+// calls — it is not synchronised against a running event loop.
+type Stats struct {
+	Nodes, Joined int
+
+	Frames     uint64 // transmissions put on the air
+	Beacons    uint64
+	DataFrames uint64
+	Acks       uint64
+	Commands   uint64
+
+	Collisions   uint64 // transmissions that overlapped another
+	Backoffs     uint64 // CSMA backoff draws
+	CCAFailures  uint64 // transmissions abandoned after macMaxCSMABackoffs
+	AckFailures  uint64 // transmissions abandoned after macMaxFrameRetries
+	Erasures     uint64 // deliveries lost to link noise
+	DeafMisses   uint64 // deliveries missed by a half-duplex receiver mid-transmission
+	Readings     uint64 // data frames accepted at a coordinator
+	Forwarded    uint64 // data frames relayed by a router
+	PANConflicts uint64 // coordinator PAN-ID rebinds
+	Joins        uint64 // successful associations
+
+	Events      uint64        // scheduler events executed
+	VirtualTime time.Duration // current virtual clock
+	HeapDepth   int           // event-heap high-water mark
+}
+
+// Network is a virtual-time Zigbee mesh: topology-instantiated node
+// actors, per-cell collision domains and a frame-level radio medium,
+// all driven by one Scheduler. The event loop is single-threaded;
+// concurrency happens at the observer boundary (Observe channels are
+// safe to consume from other goroutines while Run executes).
+type Network struct {
+	cfg   Config
+	topo  Topology
+	sched *Scheduler
+	med   *radio.Medium
+
+	nodes    []*node
+	topoKids [][]int // topology children by node index
+	rootOf   []int   // root coordinator by node index
+	coordsOn map[int][]int
+	freq     map[int]float64
+	airs     map[int]*air
+
+	frameSeq  uint64
+	allocNext map[int]uint16 // per-root short-address allocator
+
+	taps      map[int][]func(FrameCapture)
+	observers map[int][]*Observer
+
+	stats Stats
+
+	// telemetry, pre-resolved so the event loop never does registry
+	// lookups.
+	reg         *obs.Registry
+	trace       *obs.Trace
+	flight      *obs.Flight
+	cFrames     map[frameKind]*obs.Counter
+	cCollisions *obs.Counter
+	cBackoffs   *obs.Counter
+	cCCAFail    *obs.Counter
+	cAckFail    *obs.Counter
+	cErasures   *obs.Counter
+	cDeaf       *obs.Counter
+	cJoins      *obs.Counter
+	cConflicts  *obs.Counter
+	cEvents     *obs.Counter
+	gVirtual    *obs.Gauge
+	gHeapDepth  *obs.Gauge
+	gJoined     *obs.Gauge
+
+	lastEvents     uint64
+	depthThreshold int
+
+	// observer-stall bookkeeping, read by the health probe from any
+	// goroutine.
+	sendBlockedSince atomic.Int64 // wall unix nanos; 0 = not blocked
+	running          atomic.Bool
+}
+
+// New instantiates a topology into a virtual network at time zero:
+// coordinators come up joined and beaconing, everything else starts its
+// first active scan within cfg.JoinSpread.
+func New(topo Topology, cfg Config) (*Network, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	sampleRate := 8 * float64(ieee802154.ChipRate)
+	med, err := radio.NewMedium(sampleRate, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	med.Obs = cfg.Registry
+
+	nw := &Network{
+		cfg:       cfg,
+		topo:      topo,
+		sched:     NewScheduler(),
+		med:       med,
+		coordsOn:  make(map[int][]int),
+		freq:      make(map[int]float64),
+		airs:      make(map[int]*air),
+		allocNext: make(map[int]uint16),
+		taps:      make(map[int][]func(FrameCapture)),
+		observers: make(map[int][]*Observer),
+
+		reg:            obs.Or(cfg.Registry),
+		trace:          cfg.Trace,
+		flight:         obs.OrFlight(cfg.Flight),
+		depthThreshold: 64,
+	}
+	nw.cFrames = map[frameKind]*obs.Counter{}
+	for _, k := range []frameKind{kindBeacon, kindBeaconRequest, kindAssocRequest, kindAssocResponse, kindData, kindAck} {
+		nw.cFrames[k] = nw.reg.Counter("wazabee_sim_frames_total", "kind", k.String())
+	}
+	nw.cCollisions = nw.reg.Counter("wazabee_sim_collisions_total")
+	nw.cBackoffs = nw.reg.Counter("wazabee_sim_backoffs_total")
+	nw.cCCAFail = nw.reg.Counter("wazabee_sim_cca_failures_total")
+	nw.cAckFail = nw.reg.Counter("wazabee_sim_ack_failures_total")
+	nw.cErasures = nw.reg.Counter("wazabee_sim_erasures_total")
+	nw.cDeaf = nw.reg.Counter("wazabee_sim_deaf_misses_total")
+	nw.cJoins = nw.reg.Counter("wazabee_sim_joins_total")
+	nw.cConflicts = nw.reg.Counter("wazabee_sim_pan_conflicts_total")
+	nw.cEvents = nw.reg.Counter("wazabee_sim_events_total")
+	nw.gVirtual = nw.reg.Gauge("wazabee_sim_virtual_seconds")
+	nw.gHeapDepth = nw.reg.Gauge("wazabee_sim_heap_depth")
+	nw.gJoined = nw.reg.Gauge("wazabee_sim_nodes", "state", "joined")
+
+	nw.build()
+	return nw, nil
+}
+
+// build creates node actors and schedules their opening moves.
+func (nw *Network) build() {
+	specs := nw.topo.Nodes
+	nw.nodes = make([]*node, len(specs))
+	nw.topoKids = make([][]int, len(specs))
+	nw.rootOf = make([]int, len(specs))
+	roleCount := map[Role]int{}
+	for i, spec := range specs {
+		n := &node{
+			id:       i,
+			spec:     spec,
+			rng:      nodeRand(nw.cfg.Seed, i),
+			ext:      ExtAddrBase | uint64(i+1),
+			short:    ieee802154.NoShortAddress,
+			pan:      spec.PAN,
+			parentID: spec.Parent,
+			childSet: map[int]bool{},
+		}
+		nw.nodes[i] = n
+		roleCount[spec.Role]++
+		if spec.Role == RoleCoordinator {
+			nw.rootOf[i] = i
+			nw.coordsOn[spec.Channel] = append(nw.coordsOn[spec.Channel], i)
+		} else {
+			nw.rootOf[i] = nw.rootOf[spec.Parent]
+			nw.topoKids[spec.Parent] = append(nw.topoKids[spec.Parent], i)
+		}
+		if _, ok := nw.freq[spec.Channel]; !ok {
+			f, _ := ieee802154.ChannelFrequencyMHz(spec.Channel)
+			nw.freq[spec.Channel] = f
+		}
+	}
+	for role, count := range roleCount {
+		nw.reg.Gauge("wazabee_sim_nodes", "role", role.String()).Set(float64(count))
+	}
+	nw.stats.Nodes = len(specs)
+
+	for _, n := range nw.nodes {
+		n := n
+		if n.spec.Role == RoleCoordinator {
+			n.short = 0x0000
+			n.state = stateJoined
+			n.permitJoin = true
+			nw.allocNext[n.id] = 1
+			nw.stats.Joined++
+			nw.sched.At(nw.jitter(n, nw.cfg.BeaconInterval), func() { nw.beaconLoop(n) })
+			continue
+		}
+		nw.sched.At(nw.jitter(n, nw.cfg.JoinSpread), func() { nw.startScan(n) })
+	}
+	nw.noteJoinedGauge()
+}
+
+// jitter draws a uniform delay in [0, d) from the node's private stream.
+func (nw *Network) jitter(n *node, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(n.rng.Int63n(int64(d)))
+}
+
+// cell returns the collision domain owned by a join-capable node.
+func (nw *Network) cell(owner int) *air {
+	a := nw.airs[owner]
+	if a == nil {
+		a = &air{}
+		nw.airs[owner] = a
+	}
+	return a
+}
+
+// cellOwners lists the owners of the collision domains a node's
+// transmissions occupy: its parent's cell (uplink receiver's
+// neighborhood) and, for join-capable nodes, their own cell. -1 marks an
+// unused slot.
+func (nw *Network) cellOwners(n *node) [2]int {
+	if n.spec.Role == RoleCoordinator {
+		return [2]int{n.id, -1}
+	}
+	if n.spec.Role == RoleRouter {
+		return [2]int{n.parentID, n.id}
+	}
+	return [2]int{n.parentID, -1}
+}
+
+// cellsOf resolves cellOwners to the air instances.
+func (nw *Network) cellsOf(n *node) [2]*air {
+	var cells [2]*air
+	for i, owner := range nw.cellOwners(n) {
+		if owner >= 0 {
+			cells[i] = nw.cell(owner)
+		}
+	}
+	return cells
+}
+
+// destCellOwner resolves the cell a transmission's receiver lives in:
+// join-capable receivers own their cell, end devices live in their
+// parent's, broadcasts are received in the sender's own neighborhood.
+func (nw *Network) destCellOwner(n *node, out *outgoing) int {
+	switch out.mode {
+	case targetNode:
+		rx := nw.nodes[out.to]
+		if rx.spec.Role == RoleEndDevice {
+			return rx.parentID
+		}
+		return rx.id
+	case targetParent:
+		return n.parentID
+	default: // targetBeaconAudience
+		if n.spec.Role == RoleEndDevice {
+			return n.parentID
+		}
+		return n.id
+	}
+}
+
+// Now returns the virtual clock.
+func (nw *Network) Now() time.Duration { return nw.sched.Now() }
+
+// Scheduler exposes the underlying event queue (benchmarks and the
+// pacer-driven integrations need it).
+func (nw *Network) Scheduler() *Scheduler { return nw.sched }
+
+// Run executes every event due at or before the virtual instant t. It
+// is the batch driver: splitting one Run into any sequence of smaller
+// advances executes the identical event sequence.
+func (nw *Network) Run(t time.Duration) {
+	end := obs.Stage(nw.reg, nw.trace, "sim_run")
+	defer end()
+	nw.running.Store(true)
+	defer nw.running.Store(false)
+	nw.sched.RunUntil(t)
+	nw.afterBatch()
+}
+
+// Step executes a single event, returning false when the queue is empty.
+func (nw *Network) Step() bool {
+	ok := nw.sched.Step()
+	nw.afterBatch()
+	return ok
+}
+
+// afterBatch refreshes the batch-cadence telemetry: event counters,
+// clock and heap gauges, and flight-recorder entries when the heap depth
+// crosses a new doubling threshold.
+func (nw *Network) afterBatch() {
+	executed := nw.sched.Executed()
+	if delta := executed - nw.lastEvents; delta > 0 {
+		nw.cEvents.Add(delta)
+		nw.lastEvents = executed
+	}
+	nw.stats.Events = executed
+	nw.stats.VirtualTime = nw.sched.Now()
+	nw.stats.HeapDepth = nw.sched.MaxDepth()
+	nw.gVirtual.Set(nw.sched.Now().Seconds())
+	nw.gHeapDepth.Set(float64(nw.sched.MaxDepth()))
+	if d := nw.sched.MaxDepth(); d >= nw.depthThreshold {
+		for nw.depthThreshold <= d {
+			nw.depthThreshold *= 2
+		}
+		nw.flight.Record(obs.FlightEvent{
+			Kind: "state", Component: "sim", Frame: -1,
+			Detail: fmt.Sprintf("event heap high-water %d (pending %d)", d, nw.sched.Len()),
+		})
+	}
+}
+
+// noteJoinedGauge refreshes the joined-nodes gauge.
+func (nw *Network) noteJoinedGauge() {
+	nw.gJoined.Set(float64(nw.stats.Joined))
+}
+
+// Stats snapshots the counters. Call between Run invocations.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	s.Events = nw.sched.Executed()
+	s.VirtualTime = nw.sched.Now()
+	s.HeapDepth = nw.sched.MaxDepth()
+	return s
+}
+
+// NodeInfo describes one node's identity and association outcome.
+type NodeInfo struct {
+	ID      int
+	Role    Role
+	Ext     uint64
+	Short   uint16
+	PAN     uint16
+	Channel int
+	Joined  bool
+}
+
+// Node returns the current state of node i.
+func (nw *Network) Node(i int) NodeInfo {
+	n := nw.nodes[i]
+	return NodeInfo{
+		ID: i, Role: n.spec.Role, Ext: n.ext, Short: n.short,
+		PAN: n.pan, Channel: n.spec.Channel, Joined: n.state == stateJoined,
+	}
+}
+
+// RegisterHealth registers the simulator with a health registry: the
+// component degrades when an observer send has been blocked for longer
+// than Config.StallAfter — the signature a stalled consumer leaves on a
+// virtual-time loop, where "the event loop makes no progress" and "an
+// observer stopped draining" are the same condition.
+func (nw *Network) RegisterHealth(h *obs.Health) *obs.HealthComponent {
+	var c *obs.HealthComponent
+	c = h.Register("sim", false, func() error {
+		since := nw.sendBlockedSince.Load()
+		if since != 0 {
+			blocked := time.Since(time.Unix(0, since))
+			if blocked > nw.cfg.StallAfter {
+				c.SetDegraded(fmt.Sprintf("event loop stalled %v on an observer send", blocked.Round(time.Millisecond)))
+				return nil
+			}
+		}
+		c.SetOK()
+		return nil
+	})
+	return c
+}

@@ -1,0 +1,60 @@
+package sim
+
+import "time"
+
+// Pacer drives a Scheduler in wall time: each pending event's virtual
+// timestamp is mapped onto a wall deadline and executed when the wall
+// clock reaches it. This is the whole difference between the batch
+// simulator and a live network — the event core is identical, the pacer
+// only decides *when* to call Step. Lag (the wall clock overshooting an
+// event's deadline) is recorded as the scheduler's high-water mark and
+// reported through OnLag.
+type Pacer struct {
+	// Sched is the event queue to drive.
+	Sched *Scheduler
+	// Clock supplies wall time; nil uses the system clock.
+	Clock WallClock
+	// OnLag, when set, observes each new lag high-water mark (how far
+	// behind its wall deadline an event executed).
+	OnLag func(lag time.Duration)
+}
+
+// Run paces the scheduler against the wall clock until the queue drains
+// or stop closes. The virtual origin is anchored at the first call: an
+// event at virtual t executes no earlier than start + (t - virtualNow).
+// Events enqueued while running (the recurring chains of a live
+// network) extend the run seamlessly.
+func (p *Pacer) Run(stop <-chan struct{}) {
+	clock := p.Clock
+	if clock == nil {
+		clock = SystemClock()
+	}
+	start := clock.Now()
+	v0 := p.Sched.Now()
+	for {
+		at, ok := p.Sched.NextAt()
+		if !ok {
+			return
+		}
+		deadline := start.Add(at - v0)
+		if wait := deadline.Sub(clock.Now()); wait > 0 {
+			select {
+			case <-stop:
+				return
+			case <-clock.After(wait):
+			}
+		} else {
+			// Late already: still honour stop between events so a
+			// backlogged pacer remains interruptible.
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		p.Sched.Step()
+		if lag := clock.Now().Sub(deadline); lag > 0 && p.Sched.noteLag(lag) && p.OnLag != nil {
+			p.OnLag(lag)
+		}
+	}
+}

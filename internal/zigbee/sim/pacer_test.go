@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceFiresTimers(t *testing.T) {
+	c := NewManualClock()
+	ch := c.After(10 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	// Non-positive delays fire immediately.
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+// TestPacerMapsVirtualToWall drives a pacer with a manual clock: events
+// execute exactly when the wall clock crosses their mapped deadlines,
+// with no sleeps anywhere in the test.
+func TestPacerMapsVirtualToWall(t *testing.T) {
+	sched := NewScheduler()
+	clock := NewManualClock()
+	fired := make(chan time.Duration, 16)
+	var chain func()
+	chain = func() {
+		fired <- sched.Now()
+		if sched.Now() < 30*time.Millisecond {
+			sched.After(10*time.Millisecond, chain)
+		}
+	}
+	sched.After(10*time.Millisecond, chain)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	p := &Pacer{Sched: sched, Clock: clock}
+	go func() {
+		p.Run(stop)
+		close(done)
+	}()
+
+	for i, want := range []time.Duration{10, 20, 30} {
+		clock.AwaitTimers(i + 1) // pacer armed its next deadline
+		clock.Advance(10 * time.Millisecond)
+		got := <-fired
+		if got != want*time.Millisecond {
+			t.Fatalf("event %d fired at virtual %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	<-done // queue drained after the last event
+}
+
+func TestPacerStops(t *testing.T) {
+	sched := NewScheduler()
+	sched.After(time.Hour, func() { t.Error("event fired despite stop") })
+	clock := NewManualClock()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	p := &Pacer{Sched: sched, Clock: clock}
+	go func() {
+		p.Run(stop)
+		close(done)
+	}()
+	clock.AwaitTimers(1)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pacer did not stop")
+	}
+}
+
+func TestPacerReportsLag(t *testing.T) {
+	sched := NewScheduler()
+	sched.After(10*time.Millisecond, func() {})
+	clock := NewManualClock()
+	var lags []time.Duration
+	p := &Pacer{Sched: sched, Clock: clock, OnLag: func(l time.Duration) { lags = append(lags, l) }}
+	done := make(chan struct{})
+	go func() {
+		p.Run(nil)
+		close(done)
+	}()
+	clock.AwaitTimers(1)
+	clock.Advance(50 * time.Millisecond) // overshoot the deadline by 40ms
+	<-done
+	if len(lags) == 0 {
+		t.Fatal("no lag reported for a late event")
+	}
+	if lags[0] != 40*time.Millisecond {
+		t.Fatalf("lag = %v, want 40ms", lags[0])
+	}
+	if sched.MaxLag() != 40*time.Millisecond {
+		t.Fatalf("MaxLag = %v, want 40ms", sched.MaxLag())
+	}
+}
+
+func TestPacerRunsBacklogImmediately(t *testing.T) {
+	// Events already due when Run starts execute without waiting.
+	sched := NewScheduler()
+	ran := 0
+	for i := 0; i < 3; i++ {
+		sched.After(0, func() { ran++ })
+	}
+	p := &Pacer{Sched: sched, Clock: NewManualClock()}
+	p.Run(nil)
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}

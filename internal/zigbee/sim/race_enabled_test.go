@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that the race detector is active: instrumentation
+// slows the event loop by an order of magnitude, so wall-clock budget
+// assertions must be skipped.
+const raceEnabled = true

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wazabee/internal/obs"
+)
+
+// TestSimConcurrentObservers is the `make racesim` workload: several
+// observers on multiple channels drain concurrently with the event loop
+// while another goroutine polls the health registry and a stats reader
+// snapshots between batches — the full concurrency surface of the
+// simulator under the race detector.
+func TestSimConcurrentObservers(t *testing.T) {
+	topo := Topology{Nodes: []NodeSpec{
+		{Role: RoleCoordinator, Parent: -1, Channel: 14, PAN: 0x1111},
+		{Role: RoleCoordinator, Parent: -1, Channel: 20, PAN: 0x2222},
+	}}
+	for i := 0; i < 12; i++ {
+		parent, channel, pan := 0, 14, uint16(0x1111)
+		if i%2 == 1 {
+			parent, channel, pan = 1, 20, 0x2222
+		}
+		topo.Nodes = append(topo.Nodes, NodeSpec{Role: RoleEndDevice, Parent: parent, Channel: channel, PAN: pan})
+	}
+	reg := obs.NewRegistry()
+	h := obs.NewHealth(reg)
+	nw, err := New(topo, Config{Seed: 5, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.RegisterHealth(h)
+
+	// Small buffers on purpose: the event loop must block on sends and
+	// resume, repeatedly, while consumers run on other goroutines.
+	var consumers sync.WaitGroup
+	counts := make([]uint64, 4)
+	for i, ch := range []int{14, 14, 20, 20} {
+		i := i
+		o := nw.Observe(ch, 2)
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for range o.C() {
+				counts[i]++
+			}
+		}()
+	}
+
+	healthDone := make(chan struct{})
+	runDone := make(chan struct{})
+	go func() {
+		defer close(healthDone)
+		for {
+			select {
+			case <-runDone:
+				return
+			default:
+				h.Check()
+			}
+		}
+	}()
+
+	go func() {
+		defer close(runDone)
+		for at := time.Second; at <= 30*time.Second; at += time.Second {
+			nw.Run(at)
+			_ = nw.Stats()
+		}
+	}()
+	<-runDone
+	<-healthDone
+	nw.CloseObservers()
+	consumers.Wait()
+
+	frames := nw.Stats().Frames
+	if frames == 0 {
+		t.Fatal("no frames simulated")
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("observer %d saw no captures", i)
+		}
+	}
+	if counts[0] != counts[1] || counts[2] != counts[3] {
+		t.Fatalf("same-channel observers diverged: %v", counts)
+	}
+	if counts[0]+counts[2] != frames {
+		t.Fatalf("per-channel observer totals %d+%d != frames %d", counts[0], counts[2], frames)
+	}
+}

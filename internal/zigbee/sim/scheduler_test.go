@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntil(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v after RunUntil(1s)", s.Now())
+	}
+}
+
+func TestSchedulerTieBreaksByInsertion(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunUntil(5 * time.Millisecond)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order[%d] = %d, want insertion order", i, v)
+		}
+	}
+}
+
+func TestSchedulerClampsPastEvents(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Millisecond, func() {})
+	s.RunUntil(10 * time.Millisecond)
+	fired := time.Duration(-1)
+	s.At(time.Millisecond, func() { fired = s.Now() }) // in the past: clamps to now
+	s.RunUntil(10 * time.Millisecond)
+	if fired != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamp to 10ms", fired)
+	}
+}
+
+func TestSchedulerEventsScheduleEvents(t *testing.T) {
+	s := NewScheduler()
+	var at []time.Duration
+	var chain func()
+	chain = func() {
+		at = append(at, s.Now())
+		if len(at) < 5 {
+			s.After(10*time.Millisecond, chain)
+		}
+	}
+	s.After(10*time.Millisecond, chain)
+	s.RunUntil(time.Second)
+	if len(at) != 5 {
+		t.Fatalf("chain ran %d times, want 5", len(at))
+	}
+	for i, v := range at {
+		if want := time.Duration(i+1) * 10 * time.Millisecond; v != want {
+			t.Fatalf("chain[%d] at %v, want %v", i, v, want)
+		}
+	}
+}
+
+// TestSchedulerBatchSplitInvariance is the scheduler-level core of the
+// determinism contract: RunUntil(t) must execute the identical sequence
+// regardless of how the interval is split into batches.
+func TestSchedulerBatchSplitInvariance(t *testing.T) {
+	build := func() (*Scheduler, *[]time.Duration) {
+		s := NewScheduler()
+		var trace []time.Duration
+		var chain func()
+		chain = func() {
+			trace = append(trace, s.Now())
+			s.After(7*time.Millisecond, chain)
+		}
+		s.After(0, chain)
+		return s, &trace
+	}
+
+	oneShot, oneTrace := build()
+	oneShot.RunUntil(time.Second)
+
+	batched, batchedTrace := build()
+	for t := 13 * time.Millisecond; t < time.Second; t += 13 * time.Millisecond {
+		batched.RunUntil(t)
+	}
+	batched.RunUntil(time.Second)
+
+	if len(*oneTrace) != len(*batchedTrace) {
+		t.Fatalf("one-shot executed %d events, batched %d", len(*oneTrace), len(*batchedTrace))
+	}
+	for i := range *oneTrace {
+		if (*oneTrace)[i] != (*batchedTrace)[i] {
+			t.Fatalf("event %d at %v one-shot vs %v batched", i, (*oneTrace)[i], (*batchedTrace)[i])
+		}
+	}
+}
+
+func TestSchedulerStepAndDrain(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	for i := 0; i < 4; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { ran++ })
+	}
+	if !s.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d after one Step", ran)
+	}
+	s.Drain() // discards, never executes
+	if ran != 1 {
+		t.Fatalf("ran = %d after Drain, want still 1", ran)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Drain", s.Len())
+	}
+	if s.Step() {
+		t.Fatal("Step returned true on an empty queue")
+	}
+}
+
+func TestSchedulerHighWaterMarks(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if s.MaxDepth() != 10 {
+		t.Fatalf("MaxDepth = %d, want 10", s.MaxDepth())
+	}
+	s.RunUntil(time.Second)
+	if s.MaxDepth() != 10 {
+		t.Fatalf("MaxDepth = %d after run, want sticky 10", s.MaxDepth())
+	}
+	if s.Executed() != 10 {
+		t.Fatalf("Executed = %d, want 10", s.Executed())
+	}
+	if !s.noteLag(5 * time.Millisecond) {
+		t.Fatal("first noteLag should be a new high-water mark")
+	}
+	if s.noteLag(2 * time.Millisecond) {
+		t.Fatal("smaller lag should not be a new high-water mark")
+	}
+	if s.MaxLag() != 5*time.Millisecond {
+		t.Fatalf("MaxLag = %v, want 5ms", s.MaxLag())
+	}
+}
+
+func TestSchedulerPanicsOnNilFunc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	NewScheduler().At(0, nil)
+}

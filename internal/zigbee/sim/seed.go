@@ -1,0 +1,43 @@
+package sim
+
+import "math/rand"
+
+// The simulator follows the Monte-Carlo runner's seed discipline
+// (internal/experiment/runner): structured coordinates pass through
+// SplitMix64 rounds so adjacent nodes, frames and run seeds land on
+// unrelated streams, and no draw ever depends on global event
+// interleaving — the property that makes capture sequences bit-identical
+// at any event-batch size.
+
+// splitmix64 is the SplitMix64 finaliser (Steele et al., "Fast
+// splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nodeSeed derives the RNG seed of one node's private stream from the
+// run seed and the node's index.
+func nodeSeed(seed int64, nodeID int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(int64(nodeID))<<1 ^ 0x5a)
+	return int64(h)
+}
+
+// deliverySeed derives the erasure draw of one (frame, receiver) pair.
+// The frame sequence number is itself deterministic (assigned in event
+// order, which is total), so the draw is reproducible without being
+// correlated across receivers.
+func deliverySeed(seed int64, frameSeq uint64, rxID int) uint64 {
+	h := splitmix64(uint64(seed) ^ 0xd1ce)
+	h = splitmix64(h ^ frameSeq)
+	h = splitmix64(h ^ uint64(int64(rxID)))
+	return h
+}
+
+// nodeRand builds a node's private random stream.
+func nodeRand(seed int64, nodeID int) *rand.Rand {
+	return rand.New(rand.NewSource(nodeSeed(seed, nodeID)))
+}

@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+func TestStarTopology(t *testing.T) {
+	topo := Star(10)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, r, e := topo.Counts()
+	if c != 1 || r != 0 || e != 10 {
+		t.Fatalf("Star(10) counts = (%d,%d,%d), want (1,0,10)", c, r, e)
+	}
+	for i, n := range topo.Nodes[1:] {
+		if n.Parent != 0 {
+			t.Fatalf("star child %d parent = %d, want 0", i+1, n.Parent)
+		}
+	}
+}
+
+func TestTreeTopologyGolden(t *testing.T) {
+	topo := Tree(3, 10)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, r, e := topo.Counts()
+	if c != 1 || r != 110 || e != 1000 {
+		t.Fatalf("Tree(3,10) counts = (%d,%d,%d), want (1,110,1000)", c, r, e)
+	}
+	if len(topo.Nodes) != 1111 {
+		t.Fatalf("Tree(3,10) has %d nodes, want 1111", len(topo.Nodes))
+	}
+	// Golden structure spot checks: node 1..10 are level-1 routers under
+	// the root, node 11 is the first level-2 router under node 1, node
+	// 111 is the first end device under node 11.
+	for _, g := range []struct {
+		idx    int
+		role   Role
+		parent int
+	}{
+		{0, RoleCoordinator, -1},
+		{1, RoleRouter, 0},
+		{10, RoleRouter, 0},
+		{11, RoleRouter, 1},
+		{110, RoleRouter, 10},
+		{111, RoleEndDevice, 11},
+		{1110, RoleEndDevice, 110},
+	} {
+		n := topo.Nodes[g.idx]
+		if n.Role != g.role || n.Parent != g.parent {
+			t.Fatalf("node %d = {%v parent %d}, want {%v parent %d}", g.idx, n.Role, n.Parent, g.role, g.parent)
+		}
+	}
+}
+
+func TestTreeDegenerate(t *testing.T) {
+	topo := Tree(0, 0) // clamps to depth 1, fanout 1
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 2 {
+		t.Fatalf("Tree(0,0) has %d nodes, want 2", len(topo.Nodes))
+	}
+}
+
+func TestRandomTopologyDeterministic(t *testing.T) {
+	a := Random(500, 7)
+	b := Random(500, 7)
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("same-seed sizes differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("same-seed node %d differs: %+v vs %+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+	c := Random(500, 8)
+	same := true
+	for i := range a.Nodes {
+		if a.Nodes[i] != c.Nodes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical topologies")
+	}
+}
+
+func TestRandomTopologyValid(t *testing.T) {
+	for _, n := range []int{2, 50, 401, 1200} {
+		topo := Random(n, 42)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("Random(%d, 42): %v", n, err)
+		}
+		if len(topo.Nodes) != n {
+			t.Fatalf("Random(%d) has %d nodes", n, len(topo.Nodes))
+		}
+	}
+	// Multi-PAN split: 1200 nodes → 3 coordinators.
+	c, _, _ := Random(1200, 42).Counts()
+	if c != 3 {
+		t.Fatalf("Random(1200) has %d coordinators, want 3", c)
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	cases := map[string]Topology{
+		"empty": {},
+		"forward parent": {Nodes: []NodeSpec{
+			{Role: RoleCoordinator, Parent: -1, Channel: 14, PAN: 1},
+			{Role: RoleEndDevice, Parent: 2, Channel: 14, PAN: 1},
+			{Role: RoleRouter, Parent: 0, Channel: 14, PAN: 1},
+		}},
+		"end-device parent": {Nodes: []NodeSpec{
+			{Role: RoleCoordinator, Parent: -1, Channel: 14, PAN: 1},
+			{Role: RoleEndDevice, Parent: 0, Channel: 14, PAN: 1},
+			{Role: RoleEndDevice, Parent: 1, Channel: 14, PAN: 1},
+		}},
+		"cross-channel parent": {Nodes: []NodeSpec{
+			{Role: RoleCoordinator, Parent: -1, Channel: 14, PAN: 1},
+			{Role: RoleEndDevice, Parent: 0, Channel: 15, PAN: 1},
+		}},
+		"illegal channel": {Nodes: []NodeSpec{
+			{Role: RoleCoordinator, Parent: -1, Channel: 27, PAN: 1},
+		}},
+		"parented coordinator": {Nodes: []NodeSpec{
+			{Role: RoleCoordinator, Parent: -1, Channel: 14, PAN: 1},
+			{Role: RoleCoordinator, Parent: 0, Channel: 14, PAN: 1},
+		}},
+	}
+	for name, topo := range cases {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid topology", name)
+		}
+	}
+}

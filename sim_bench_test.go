@@ -1,0 +1,41 @@
+package wazabee
+
+// Virtual-time simulator benchmark: the event-loop throughput number
+// behind the "thousand-node mesh, minutes of traffic per wall-clock
+// second" claim. The extra metrics report simulated frames and scheduler
+// events per wall second — BENCH.json carries them alongside ns/op.
+
+import (
+	"testing"
+	"time"
+
+	"wazabee/internal/zigbee/sim"
+)
+
+// BenchmarkSimEventLoop simulates 60 virtual seconds of the 1,111-node
+// acceptance mesh (Tree(3,10): full association, 2-second beacon and
+// data cadences, CSMA-CA, multihop forwarding) per iteration.
+func BenchmarkSimEventLoop(b *testing.B) {
+	topo := sim.Tree(3, 10)
+	const virtual = 60 * time.Second
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frames, events uint64
+	for i := 0; i < b.N; i++ {
+		nw, err := sim.New(topo, sim.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw.Run(virtual)
+		s := nw.Stats()
+		frames += s.Frames
+		events += s.Events
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(frames)/elapsed, "frames/s")
+		b.ReportMetric(float64(events)/elapsed, "events/s")
+	}
+	b.ReportMetric(virtual.Seconds()*float64(b.N)/elapsed, "virtual_s/s")
+}

@@ -33,6 +33,7 @@ import (
 	"wazabee/internal/obs"
 	"wazabee/internal/obs/link"
 	"wazabee/internal/zigbee"
+	"wazabee/internal/zigbee/sim"
 )
 
 // Core attack types.
@@ -209,6 +210,26 @@ type LiveCapture = zigbee.Capture
 // Shutdown.
 func StartLiveNetwork(net *VictimNetwork, interval time.Duration, captureChannel int) (*LiveNetwork, error) {
 	return zigbee.StartLive(net, interval, captureChannel)
+}
+
+// Virtual-time mesh simulation (DESIGN.md §12): thousand-node Zigbee
+// meshes with full association, beaconing and CSMA-CA running at CPU
+// speed on a discrete-event scheduler, deterministic under one seed.
+type (
+	// MeshNetwork is the discrete-event mesh simulator.
+	MeshNetwork = sim.Network
+	// MeshTopology declares the node roster (roles, parents, channels,
+	// PANs) a MeshNetwork is built from.
+	MeshTopology = sim.Topology
+	// MeshConfig carries the run seed, traffic cadences and link model.
+	MeshConfig = sim.Config
+)
+
+// NewMeshNetwork builds a simulator over a topology — see sim.Star,
+// sim.Tree and sim.Random for generators, and cmd/wazabeesim for the
+// CLI front end.
+func NewMeshNetwork(topo MeshTopology, cfg MeshConfig) (*MeshNetwork, error) {
+	return sim.New(topo, cfg)
 }
 
 // NewTracker wires a scenario B attacker to its radio environment.
