@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health ci
+.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health smoke-sim ci
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 BENCHCOUNT ?= 5
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCHCOUNT) . | tee bench.out
-	$(GO) run ./cmd/benchjson -in bench.out -out BENCH.json
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH.json -history BENCH_history.jsonl
 
 # Short smoke runs of the native fuzzers: the capture readers must never
 # panic on corrupt pcap/ZEP input, and the streaming receiver must decode
@@ -71,4 +71,10 @@ SMOKE_HEALTH_ADDR ?= 127.0.0.1:19753
 smoke-health:
 	./scripts/smoke-health.sh "$(SMOKE_HEALTH_ADDR)"
 
-ci: vet build test race racestream racerunner racesim determinism fuzz smoke smoke-health
+# End-to-end observatory smoke: a small simulated tree with -trace and
+# -energy, validating the Chrome trace parses, energy totals are nonzero
+# and same-seed traces stay byte-identical.
+smoke-sim:
+	./scripts/smoke-sim.sh
+
+ci: vet build test race racestream racerunner racesim determinism fuzz smoke smoke-health smoke-sim

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"wazabee/internal/obs"
 )
@@ -144,7 +145,32 @@ func parse(r io.Reader) (*report, error) {
 	return rep, nil
 }
 
-func run(inPath, outPath string) error {
+// historyRecord is one appended line of the benchmark history: the full
+// report stamped with when it was taken, so the perf trajectory across
+// revisions survives BENCH.json being overwritten every run.
+type historyRecord struct {
+	At string `json:"at"`
+	report
+}
+
+// appendHistory appends the report as one compact timestamped JSON line.
+func appendHistory(path string, rep *report, at time.Time) error {
+	line, err := json.Marshal(historyRecord{At: at.UTC().Format(time.RFC3339), report: *rep})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(inPath, outPath, historyPath string) error {
 	var in io.Reader = os.Stdin
 	if inPath != "" && inPath != "-" {
 		f, err := os.Open(inPath)
@@ -160,6 +186,11 @@ func run(inPath, outPath string) error {
 	}
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if historyPath != "" {
+		if err := appendHistory(historyPath, rep, time.Now()); err != nil {
+			return fmt.Errorf("append history: %w", err)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -177,8 +208,9 @@ func main() {
 	obs.RegisterBuildInfo(nil)
 	inPath := flag.String("in", "-", "bench output file (- for stdin)")
 	outPath := flag.String("out", "-", "JSON report path (- for stdout)")
+	historyPath := flag.String("history", "", "append the report as one timestamped JSON line here (e.g. BENCH_history.jsonl); empty disables")
 	flag.Parse()
-	if err := run(*inPath, *outPath); err != nil {
+	if err := run(*inPath, *outPath, *historyPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

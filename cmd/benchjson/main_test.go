@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -50,5 +55,48 @@ func TestParseAggregates(t *testing.T) {
 	}
 	if _, err := parse(strings.NewReader("PASS\n")); err != nil {
 		t.Errorf("empty input must parse (error handled by run): %v", err)
+	}
+}
+
+// TestHistoryAppends checks the perf-trajectory log: each run appends one
+// timestamped JSON line, never truncating earlier entries.
+func TestHistoryAppends(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	hist := filepath.Join(dir, "BENCH_history.jsonl")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := run(in, filepath.Join(dir, "BENCH.json"), hist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			At         string   `json:"at"`
+			Goos       string   `json:"goos"`
+			Benchmarks []Result `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("history line %d is not valid JSON: %v", lines, err)
+		}
+		if _, err := time.Parse(time.RFC3339, rec.At); err != nil {
+			t.Fatalf("history line %d timestamp %q: %v", lines, rec.At, err)
+		}
+		if rec.Goos != "linux" || len(rec.Benchmarks) != 2 {
+			t.Fatalf("history line %d lost the report: %+v", lines, rec)
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("%d history lines after two runs, want 2", lines)
 	}
 }

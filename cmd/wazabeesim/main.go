@@ -11,10 +11,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -37,6 +42,15 @@ type config struct {
 	digest   bool
 	jsonOut  bool
 	progress bool
+
+	// observatory flags
+	telemetry     bool
+	tracePath     string
+	validateTrace bool
+	energy        bool
+	chip          string
+	nodeReport    int
+	metricsAddr   string
 }
 
 func main() {
@@ -60,6 +74,13 @@ func registerFlags(fs *flag.FlagSet, cfg *config) {
 	fs.BoolVar(&cfg.digest, "digest", true, "fold every capture into a sha256 digest and print it")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON instead of text")
 	fs.BoolVar(&cfg.progress, "progress", false, "log joined/frame counts each simulated second")
+	fs.BoolVar(&cfg.telemetry, "telemetry", false, "enable the simulation observatory (per-node/per-link counters, energy accountant); implied by -trace, -energy and -node-report")
+	fs.StringVar(&cfg.tracePath, "trace", "", "stream a Chrome trace-event JSON of the run here (load in ui.perfetto.dev); implies -telemetry")
+	fs.BoolVar(&cfg.validateTrace, "validate-trace", false, "parse the written trace back and fail on malformed JSON (CI hook)")
+	fs.BoolVar(&cfg.energy, "energy", false, "print the per-node radio energy report; implies -telemetry")
+	fs.StringVar(&cfg.chip, "chip", "cc2652", "energy-accountant current-draw profile: cc2652 or nrf52840")
+	fs.IntVar(&cfg.nodeReport, "node-report", 0, "print the top-N nodes by energy in the text report; implies -telemetry")
+	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/sim and net/http/pprof on this address during the run (empty disables)")
 }
 
 // buildTopology resolves the topology flags into a node list.
@@ -74,6 +95,14 @@ func buildTopology(cfg config) (sim.Topology, error) {
 	default:
 		return sim.Topology{}, fmt.Errorf("unknown topology %q (want star, tree or random)", cfg.topology)
 	}
+}
+
+// heapReport is the scheduler's high-water marks in the run report.
+type heapReport struct {
+	MaxDepth int           `json:"max_depth"`
+	Pending  int           `json:"pending"`
+	Executed uint64        `json:"executed"`
+	MaxLag   time.Duration `json:"max_lag_ns"`
 }
 
 // summary is the machine-readable run report.
@@ -91,6 +120,38 @@ type summary struct {
 	Digest       string        `json:"digest,omitempty"`
 	DigestFrames uint64        `json:"digest_frames,omitempty"`
 	MaxEventLag  time.Duration `json:"max_event_lag_ns"`
+	Heap         heapReport    `json:"heap"`
+
+	// Energy totals, present when the observatory is enabled.
+	Chip              string             `json:"chip,omitempty"`
+	EnergyMicrojoules float64            `json:"energy_microjoules,omitempty"`
+	RadioSeconds      map[string]float64 `json:"radio_seconds,omitempty"`
+}
+
+// validateTrace parses a written trace back and checks it is a
+// well-formed Chrome trace-event document with at least one event — the
+// CI smoke hook, so the pipeline needs no external JSON tooling.
+func validateTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("validate trace: %w", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("validate trace %s: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("validate trace %s: no trace events", path)
+	}
+	for i, ev := range doc.TraceEvents {
+		if _, ok := ev["ph"].(string); !ok {
+			return fmt.Errorf("validate trace %s: event %d missing phase", path, i)
+		}
+	}
+	return nil
 }
 
 func run(args []string, out, errOut io.Writer) error {
@@ -112,22 +173,62 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	telemetryOn := cfg.telemetry || cfg.tracePath != "" || cfg.energy || cfg.nodeReport > 0
+
+	var traceFile *os.File
+	if cfg.tracePath != "" {
+		traceFile, err = os.Create(cfg.tracePath)
+		if err != nil {
+			return fmt.Errorf("create -trace file: %w", err)
+		}
+		defer traceFile.Close()
+	}
 
 	reg := obs.NewRegistry()
 	flight := obs.NewFlight(256)
 	health := obs.NewHealth(reg)
-	nw, err := sim.New(topo, sim.Config{
+	simCfg := sim.Config{
 		Seed:           cfg.seed,
 		SNRdB:          cfg.snrDB,
 		BeaconInterval: cfg.beacon,
 		DataInterval:   cfg.data,
 		Registry:       reg,
 		Flight:         flight,
-	})
+		Telemetry:      telemetryOn,
+		Chip:           cfg.chip,
+	}
+	if traceFile != nil {
+		simCfg.TraceWriter = traceFile
+	}
+	nw, err := sim.New(topo, simCfg)
 	if err != nil {
 		return err
 	}
 	nw.RegisterHealth(health)
+
+	if cfg.metricsAddr != "" {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		obs.RegisterBuildInfo(reg)
+		obs.StartRuntimeSampler(ctx, reg, 0)
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		mux.Handle("/healthz", health.Healthz())
+		mux.Handle("/debug/sim", nw.DebugHandler())
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		srv := &http.Server{Handler: mux}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(errOut, "wazabeesim: metrics server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(errOut, "wazabeesim: serving /metrics, /healthz, /debug/sim and /debug/pprof on %s\n", ln.Addr())
+	}
 
 	var rec *sim.DigestRecorder
 	if cfg.digest {
@@ -153,7 +254,22 @@ func run(args []string, out, errOut io.Writer) error {
 	nw.Run(cfg.duration)
 	wall := time.Since(start)
 
+	if err := nw.CloseTrace(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if cfg.validateTrace {
+			if err := validateTrace(cfg.tracePath); err != nil {
+				return err
+			}
+		}
+	}
+
 	stats := nw.Stats()
+	sched := nw.Scheduler()
 	coord, routers, endDev := topo.Counts()
 	sum := summary{
 		Topology:     cfg.topology,
@@ -166,11 +282,24 @@ func run(args []string, out, errOut io.Writer) error {
 		WallTime:     wall,
 		Speedup:      stats.VirtualTime.Seconds() / wall.Seconds(),
 		Stats:        stats,
-		MaxEventLag:  nw.Scheduler().MaxLag(),
+		MaxEventLag:  sched.MaxLag(),
+		Heap: heapReport{
+			MaxDepth: sched.MaxDepth(),
+			Pending:  sched.Len(),
+			Executed: sched.Executed(),
+			MaxLag:   sched.MaxLag(),
+		},
 	}
 	if rec != nil {
 		sum.Digest = rec.Sum()
 		sum.DigestFrames = rec.Frames()
+	}
+	var snap *sim.Snapshot
+	if telemetryOn {
+		snap = nw.Snapshot()
+		sum.Chip = snap.Chip
+		sum.EnergyMicrojoules = snap.EnergyMicrojoules
+		sum.RadioSeconds = snap.RadioSeconds
 	}
 
 	if cfg.jsonOut {
@@ -185,11 +314,26 @@ func run(args []string, out, errOut io.Writer) error {
 		stats.VirtualTime, wall.Round(time.Millisecond), sum.Speedup)
 	fmt.Fprintf(out, "joined %d/%d  frames %d (beacons %d, data %d, acks %d, commands %d)\n",
 		stats.Joined, stats.Nodes, stats.Frames, stats.Beacons, stats.DataFrames, stats.Acks, stats.Commands)
-	fmt.Fprintf(out, "collisions %d  backoffs %d  cca-failures %d  ack-failures %d  erasures %d  deaf-misses %d\n",
-		stats.Collisions, stats.Backoffs, stats.CCAFailures, stats.AckFailures, stats.Erasures, stats.DeafMisses)
+	fmt.Fprintf(out, "collisions %d  backoffs %d  cca-failures %d  retries %d  ack-failures %d  erasures %d  deaf-misses %d\n",
+		stats.Collisions, stats.Backoffs, stats.CCAFailures, stats.Retries, stats.AckFailures, stats.Erasures, stats.DeafMisses)
 	fmt.Fprintf(out, "readings %d  forwarded %d  joins %d  pan-conflicts %d\n",
 		stats.Readings, stats.Forwarded, stats.Joins, stats.PANConflicts)
-	fmt.Fprintf(out, "events %d  heap-depth max %d\n", stats.Events, stats.HeapDepth)
+	fmt.Fprintf(out, "events %d  heap-depth max %d  heap-lag max %v\n", stats.Events, stats.HeapDepth, sum.MaxEventLag)
+	if snap != nil && (cfg.energy || cfg.nodeReport > 0) {
+		fmt.Fprintf(out, "energy %.1f µJ total over %d nodes (%s profile): tx %.3fs rx %.3fs cca %.3fs turnaround %.3fs idle %.3fs\n",
+			snap.EnergyMicrojoules, len(snap.Nodes), snap.Chip,
+			snap.RadioSeconds["tx"], snap.RadioSeconds["rx"], snap.RadioSeconds["cca"],
+			snap.RadioSeconds["turnaround"], snap.RadioSeconds["idle"])
+	}
+	if snap != nil && cfg.nodeReport > 0 {
+		view := *snap
+		view.Links = nil
+		view.Nodes = sim.TopNodesByEnergy(view.Nodes, cfg.nodeReport)
+		sim.WriteSnapshotText(out, &view)
+	}
+	if traceFile != nil {
+		fmt.Fprintf(out, "trace written to %s — load it in ui.perfetto.dev or chrome://tracing\n", cfg.tracePath)
+	}
 	if rec != nil {
 		fmt.Fprintf(out, "digest sha256:%s over %d captures\n", rec.Sum(), rec.Frames())
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -67,10 +69,83 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-topology", "mesh"},
 		{"-duration", "0s"},
+		{"-energy", "-chip", "esp32"},
 	} {
 		var out, errOut bytes.Buffer
 		if err := run(args, &out, &errOut); err == nil {
 			t.Errorf("run(%v) accepted invalid input", args)
 		}
+	}
+}
+
+// TestRunTraceExport drives the observatory flags end-to-end: the trace
+// file validates as Chrome trace-event JSON, is byte-identical across
+// two same-seed runs, and the energy/node reports land in the output.
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) (string, string) {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-topology", "tree", "-depth", "2", "-fanout", "3",
+			"-duration", "10s", "-trace", path, "-validate-trace",
+			"-energy", "-node-report", "3"}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data), out.String()
+	}
+	traceA, textA := runOnce(filepath.Join(dir, "a.json"))
+	traceB, _ := runOnce(filepath.Join(dir, "b.json"))
+	if traceA != traceB {
+		t.Fatal("same-seed traces differ byte-for-byte")
+	}
+	for _, want := range []string{"energy ", "µJ total", "cc2652", "sim observatory", "trace written to"} {
+		if !strings.Contains(textA, want) {
+			t.Errorf("output missing %q:\n%s", want, textA)
+		}
+	}
+}
+
+// TestRunJSONCarriesObservatory checks the machine-readable summary
+// gains the heap high-water marks and, with telemetry on, energy totals.
+func TestRunJSONCarriesObservatory(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-topology", "star", "-nodes", "5", "-duration", "10s",
+		"-telemetry", "-json"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, out.String())
+	}
+	if sum.Heap.Executed == 0 || sum.Heap.MaxDepth == 0 {
+		t.Fatalf("heap report empty: %+v", sum.Heap)
+	}
+	if sum.EnergyMicrojoules <= 0 || sum.Chip != "cc2652" {
+		t.Fatalf("energy report missing: chip=%q energy=%v", sum.Chip, sum.EnergyMicrojoules)
+	}
+	if sum.Stats.Retries == 0 && sum.RadioSeconds["tx"] <= 0 {
+		t.Fatalf("radio seconds missing: %+v", sum.RadioSeconds)
+	}
+}
+
+// TestRunMetricsAddr checks -metrics-addr binds, announces its address
+// and serves the run without disturbing it; a bad address errors out.
+func TestRunMetricsAddr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-topology", "star", "-nodes", "4", "-duration", "5s",
+		"-telemetry", "-metrics-addr", "127.0.0.1:0"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if !regexp.MustCompile(`serving /metrics, /healthz, /debug/sim and /debug/pprof on 127\.0\.0\.1:\d+`).MatchString(errOut.String()) {
+		t.Fatalf("no metrics-server announcement on stderr:\n%s", errOut.String())
+	}
+
+	var o, e bytes.Buffer
+	if err := run([]string{"-duration", "1s", "-metrics-addr", "256.0.0.1:0"}, &o, &e); err == nil {
+		t.Fatal("bad -metrics-addr accepted")
 	}
 }

@@ -51,6 +51,11 @@ const (
 	// longest a transmitter waits for an acknowledgement before
 	// retrying, 54 symbols (864 µs) plus the ACK airtime margin.
 	AckWaitDuration = 54 * SymbolDuration
+
+	// CCADuration is aCCATime: the clear-channel assessment window, 8
+	// symbols (128 µs) of the receiver measuring channel power before a
+	// CSMA-CA transmission may proceed.
+	CCADuration = 8 * SymbolDuration
 )
 
 // FrameDuration returns the on-air time of a PPDU carrying a PSDU of the

@@ -1,8 +1,11 @@
 package zigbee
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wazabee/internal/dsp"
@@ -64,6 +67,12 @@ type LiveNetwork struct {
 	sched *vsim.Scheduler
 	seq   uint64
 
+	// Pacer-path observability: the same wazabee_sim_heap_* gauges the
+	// virtual-time driver publishes, labelled driver="live", plus an
+	// atomically published queue snapshot for the /debug/sim endpoint.
+	heapGauges *vsim.HeapGauges
+	schedStats atomic.Pointer[SchedulerStats]
+
 	captures chan Capture
 	chunks   chan CaptureChunk
 	stop     chan struct{}
@@ -116,7 +125,9 @@ func startLive(s *Simulation, interval time.Duration, captureChannel, chunk int,
 		chunks:         make(chan CaptureChunk, 1),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
+		heapGauges:     vsim.NewHeapGauges(nil, "live"),
 	}
+	l.schedStats.Store(&SchedulerStats{})
 	l.sched.After(interval, l.tick)
 	go l.run(clock)
 	return l, nil
@@ -186,6 +197,7 @@ func (l *LiveNetwork) tick() {
 		LinkSNRdB: l.sim.AttackerLink.SNRdB,
 	}
 	l.seq++
+	l.publishSchedStats()
 	if l.chunk > 0 {
 		if !l.emitChunks(capture) {
 			return
@@ -198,6 +210,48 @@ func (l *LiveNetwork) tick() {
 		}
 	}
 	l.sched.After(l.interval, l.tick)
+}
+
+// SchedulerStats is a point-in-time snapshot of the pacer's event
+// queue — the live-path counterpart of the virtual driver's heap
+// telemetry.
+type SchedulerStats struct {
+	Pending  int           `json:"pending"`
+	MaxDepth int           `json:"max_depth"`
+	Executed uint64        `json:"executed"`
+	MaxLag   time.Duration `json:"max_lag_ns"`
+	Periods  uint64        `json:"periods"`
+}
+
+// publishSchedStats refreshes the heap gauges and the snapshot from the
+// event-loop goroutine, once per reporting period.
+func (l *LiveNetwork) publishSchedStats() {
+	l.heapGauges.Publish(l.sched)
+	l.schedStats.Store(&SchedulerStats{
+		Pending:  l.sched.Len(),
+		MaxDepth: l.sched.MaxDepth(),
+		Executed: l.sched.Executed(),
+		MaxLag:   l.sched.MaxLag(),
+		Periods:  l.seq,
+	})
+}
+
+// SchedulerStats returns the queue snapshot published at the last
+// reporting period. Safe to call from any goroutine.
+func (l *LiveNetwork) SchedulerStats() SchedulerStats {
+	return *l.schedStats.Load()
+}
+
+// DebugHandler serves the scheduler snapshot as JSON — wazabeed mounts
+// it at /debug/sim so a live run exposes the same observability surface
+// as the virtual-time simulator.
+func (l *LiveNetwork) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(l.SchedulerStats())
+	})
 }
 
 // emitChunks slices one capture into chunk-sized slabs and streams them

@@ -137,6 +137,9 @@ func (nw *Network) completeJoin(n *node, assigned uint16) {
 	nw.stats.Joins++
 	nw.stats.Joined++
 	nw.cJoins.Inc()
+	if t := nw.tel; t != nil {
+		t.noteJoin(n, nw.sched.Now())
+	}
 	nw.noteJoinedGauge()
 	nw.sched.After(nw.jitter(n, nw.cfg.DataInterval), func() { nw.dataLoop(n) })
 	if n.spec.Role == RoleRouter {
@@ -201,6 +204,9 @@ func (nw *Network) csmaBackoff(n *node, out *outgoing) {
 	slots := n.rng.Intn(1 << out.be)
 	nw.stats.Backoffs++
 	nw.cBackoffs.Inc()
+	if t := nw.tel; t != nil {
+		t.nodes[n.id].backoffs++
+	}
 	nw.sched.After(time.Duration(slots)*ieee802154.UnitBackoffPeriod, func() { nw.cca(n, out) })
 }
 
@@ -211,7 +217,13 @@ func (nw *Network) csmaBackoff(n *node, out *outgoing) {
 // finish transmitting.
 func (nw *Network) cca(n *node, out *outgoing) {
 	now := nw.sched.Now()
-	busy := now < n.radioBusyUntil
+	selfBusy := now < n.radioBusyUntil
+	if t := nw.tel; t != nil && !selfBusy {
+		// The radio spent the trailing aCCATime measuring channel power.
+		// A self-busy radio is mid-transmission and never measured.
+		t.radioCharge(n.id, now, ieee802154.CCADuration, RadioCCA)
+	}
+	busy := selfBusy
 	for _, cell := range nw.cellsOf(n) {
 		if busy {
 			break
@@ -225,6 +237,9 @@ func (nw *Network) cca(n *node, out *outgoing) {
 		if out.ncb > ieee802154.MaxCSMABackoffs {
 			nw.stats.CCAFailures++
 			nw.cCCAFail.Inc()
+			if t := nw.tel; t != nil {
+				t.nodes[n.id].ccaFailures++
+			}
 			nw.txFailed(n, out)
 			n.txBusy = false
 			nw.processQueue(n)
@@ -235,6 +250,9 @@ func (nw *Network) cca(n *node, out *outgoing) {
 		}
 		nw.csmaBackoff(n, out)
 		return
+	}
+	if t := nw.tel; t != nil {
+		t.radioTransition(n.id, now, RadioTurnaround)
 	}
 	nw.sched.After(ieee802154.TurnaroundTime, func() { nw.txStart(n, out, false) })
 }
@@ -267,6 +285,9 @@ func (nw *Network) txStart(n *node, out *outgoing, immediate bool) {
 	if tx.end > n.radioBusyUntil {
 		n.radioBusyUntil = tx.end
 	}
+	if t := nw.tel; t != nil {
+		t.radioTransition(n.id, now, RadioTX)
+	}
 	nw.noteFrame(tx)
 	nw.sched.At(tx.end, func() { nw.txEnd(n, out, tx, immediate) })
 }
@@ -275,6 +296,9 @@ func (nw *Network) txStart(n *node, out *outgoing, immediate bool) {
 func (nw *Network) noteFrame(tx *transmission) {
 	nw.stats.Frames++
 	nw.cFrames[tx.kind].Inc()
+	if t := nw.tel; t != nil {
+		t.nodes[tx.src].tx++
+	}
 	switch tx.kind {
 	case kindBeacon:
 		nw.stats.Beacons++
@@ -295,9 +319,25 @@ func (nw *Network) txEnd(n *node, out *outgoing, tx *transmission, immediate boo
 			cell.remove(tx)
 		}
 	}
+	now := nw.sched.Now()
+	if t := nw.tel; t != nil {
+		t.radioTransition(n.id, now, RadioIdle)
+		if t.trace != nil {
+			t.trace.frameSlice(tx.src, tx.kind.String(), tx.start, tx.end-tx.start, tx.seq, len(tx.psdu))
+		}
+	}
 	if tx.collided {
 		nw.stats.Collisions++
 		nw.cCollisions.Inc()
+		if t := nw.tel; t != nil {
+			t.nodes[tx.src].collisions++
+			for _, rxID := range nw.recipients(tx) {
+				t.link(tx.src, rxID).colls++
+			}
+			if t.trace != nil {
+				t.trace.instant(tx.src, "collision", now, tx.seq)
+			}
+		}
 	}
 	nw.publishCapture(tx)
 
@@ -311,13 +351,35 @@ func (nw *Network) txEnd(n *node, out *outgoing, tx *transmission, immediate boo
 				// of the frame and never demodulated it.
 				nw.stats.DeafMisses++
 				nw.cDeaf.Inc()
+				if t := nw.tel; t != nil {
+					t.nodes[rxID].deaf++
+					t.link(tx.src, rxID).deaf++
+					if t.trace != nil {
+						t.trace.instant(rxID, "deaf", now, tx.seq)
+					}
+				}
 				continue
 			}
 			outcome := nw.med.DeliverVirtual(len(tx.psdu), f, f, link, deliverySeed(nw.cfg.Seed, tx.seq, rxID))
 			if !outcome.Delivered {
 				nw.stats.Erasures++
 				nw.cErasures.Inc()
+				if t := nw.tel; t != nil {
+					t.nodes[rxID].erasures++
+					t.link(tx.src, rxID).erasures++
+					if t.trace != nil {
+						t.trace.instant(rxID, "erasure", now, tx.seq)
+					}
+				}
 				continue
+			}
+			if t := nw.tel; t != nil {
+				t.nodes[rxID].rx++
+				t.link(tx.src, rxID).delivered++
+				// The receiver's radio demodulated the whole frame: charge
+				// its airtime to RX before the handler commits the radio to
+				// anything else (an acknowledgement turnaround).
+				t.radioCharge(rxID, now, tx.end-tx.start, RadioRX)
 			}
 			nw.handleFrame(rx, tx)
 		}
@@ -413,6 +475,9 @@ func (nw *Network) sendAck(r *node, tx *transmission) {
 	if ackEnd > r.radioBusyUntil {
 		r.radioBusyUntil = ackEnd
 	}
+	if t := nw.tel; t != nil {
+		t.radioTransition(r.id, nw.sched.Now(), RadioTurnaround)
+	}
 	nw.sched.After(ieee802154.TurnaroundTime, func() { nw.txStart(r, ack, true) })
 }
 
@@ -439,6 +504,11 @@ func (nw *Network) onAckTimeout(n *node, gen uint64) {
 	n.ackGen++
 	out.retries++
 	if out.retries <= ieee802154.MaxFrameRetries {
+		nw.stats.Retries++
+		nw.cRetries.Inc()
+		if t := nw.tel; t != nil {
+			t.nodes[n.id].retries++
+		}
 		out.be = ieee802154.MinBE
 		out.ncb = 0
 		nw.csmaBackoff(n, out)
@@ -446,6 +516,9 @@ func (nw *Network) onAckTimeout(n *node, gen uint64) {
 	}
 	nw.stats.AckFailures++
 	nw.cAckFail.Inc()
+	if t := nw.tel; t != nil {
+		t.nodes[n.id].ackFailures++
+	}
 	nw.txFailed(n, out)
 	n.txBusy = false
 	nw.processQueue(n)
@@ -591,12 +664,18 @@ func (nw *Network) handleData(r *node, tx *transmission) {
 	}
 	if r.spec.Role == RoleCoordinator {
 		nw.stats.Readings++
+		if t := nw.tel; t != nil {
+			t.nodes[r.id].readings++
+		}
 		return
 	}
 	if r.state != stateJoined {
 		return
 	}
 	nw.stats.Forwarded++
+	if t := nw.tel; t != nil {
+		t.nodes[r.id].forwarded++
+	}
 	fwd := []byte{payload[0], payload[1], payload[2], payload[3] + 1}
 	r.seq++
 	frame := ieee802154.NewDataFrame(r.seq, r.pan, r.parentShort, r.short, fwd, true)

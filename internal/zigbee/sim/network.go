@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -114,6 +115,20 @@ type Config struct {
 	Registry *obs.Registry
 	Trace    *obs.Trace
 	Flight   *obs.Flight
+
+	// Telemetry enables the simulation observatory: per-node and
+	// per-link counters, join-latency tracking and the radio energy
+	// accountant. Off by default — the uninstrumented event loop stays
+	// the benchmark baseline.
+	Telemetry bool
+	// Chip selects the energy accountant's current-draw profile
+	// ("cc2652", "nrf52840"; default cc2652).
+	Chip string
+	// TraceWriter, when non-nil, receives the virtual-time trace as
+	// Chrome trace-event JSON, streamed as the run executes. Setting it
+	// implies Telemetry. Call CloseTrace after the final Run to
+	// terminate the document.
+	TraceWriter io.Writer
 }
 
 func (c *Config) fill() {
@@ -135,6 +150,9 @@ func (c *Config) fill() {
 	if c.StallAfter <= 0 {
 		c.StallAfter = 2 * time.Second
 	}
+	if c.TraceWriter != nil {
+		c.Telemetry = true
+	}
 }
 
 // Stats is a snapshot of the network's counters. Read it between Run
@@ -151,6 +169,7 @@ type Stats struct {
 	Collisions   uint64 // transmissions that overlapped another
 	Backoffs     uint64 // CSMA backoff draws
 	CCAFailures  uint64 // transmissions abandoned after macMaxCSMABackoffs
+	Retries      uint64 // acknowledged retransmissions attempted
 	AckFailures  uint64 // transmissions abandoned after macMaxFrameRetries
 	Erasures     uint64 // deliveries lost to link noise
 	DeafMisses   uint64 // deliveries missed by a half-duplex receiver mid-transmission
@@ -199,6 +218,7 @@ type Network struct {
 	cCollisions *obs.Counter
 	cBackoffs   *obs.Counter
 	cCCAFail    *obs.Counter
+	cRetries    *obs.Counter
 	cAckFail    *obs.Counter
 	cErasures   *obs.Counter
 	cDeaf       *obs.Counter
@@ -211,6 +231,17 @@ type Network struct {
 
 	lastEvents     uint64
 	depthThreshold int
+
+	// tel is the simulation observatory (nil when Config.Telemetry is
+	// off — every hook in the MAC path nil-checks it, keeping the
+	// uninstrumented loop free of observatory work).
+	tel        *telemetry
+	heapGauges *HeapGauges
+
+	// snapshot published for the /debug/sim handler; refreshed at batch
+	// boundaries once a handler exists.
+	wantSnapshot atomic.Bool
+	snap         atomic.Pointer[Snapshot]
 
 	// observer-stall bookkeeping, read by the health probe from any
 	// goroutine.
@@ -257,6 +288,7 @@ func New(topo Topology, cfg Config) (*Network, error) {
 	nw.cCollisions = nw.reg.Counter("wazabee_sim_collisions_total")
 	nw.cBackoffs = nw.reg.Counter("wazabee_sim_backoffs_total")
 	nw.cCCAFail = nw.reg.Counter("wazabee_sim_cca_failures_total")
+	nw.cRetries = nw.reg.Counter("wazabee_sim_retries_total")
 	nw.cAckFail = nw.reg.Counter("wazabee_sim_ack_failures_total")
 	nw.cErasures = nw.reg.Counter("wazabee_sim_erasures_total")
 	nw.cDeaf = nw.reg.Counter("wazabee_sim_deaf_misses_total")
@@ -266,6 +298,19 @@ func New(topo Topology, cfg Config) (*Network, error) {
 	nw.gVirtual = nw.reg.Gauge("wazabee_sim_virtual_seconds")
 	nw.gHeapDepth = nw.reg.Gauge("wazabee_sim_heap_depth")
 	nw.gJoined = nw.reg.Gauge("wazabee_sim_nodes", "state", "joined")
+	nw.heapGauges = NewHeapGauges(nw.reg, "virtual")
+
+	if cfg.Telemetry {
+		profile, err := ProfileByName(cfg.Chip)
+		if err != nil {
+			return nil, err
+		}
+		var tw *traceWriter
+		if cfg.TraceWriter != nil {
+			tw = newTraceWriter(cfg.TraceWriter, topo)
+		}
+		nw.tel = newTelemetry(topo, profile, nw.reg, tw)
+	}
 
 	nw.build()
 	return nw, nil
@@ -316,6 +361,10 @@ func (nw *Network) build() {
 			n.permitJoin = true
 			nw.allocNext[n.id] = 1
 			nw.stats.Joined++
+			if nw.tel != nil {
+				// Coordinators come up joined: zero join latency.
+				nw.tel.nodes[n.id].joinedAt = 0
+			}
 			nw.sched.At(nw.jitter(n, nw.cfg.BeaconInterval), func() { nw.beaconLoop(n) })
 			continue
 		}
@@ -428,6 +477,13 @@ func (nw *Network) afterBatch() {
 	nw.stats.HeapDepth = nw.sched.MaxDepth()
 	nw.gVirtual.Set(nw.sched.Now().Seconds())
 	nw.gHeapDepth.Set(float64(nw.sched.MaxDepth()))
+	nw.heapGauges.Publish(nw.sched)
+	if nw.tel != nil {
+		nw.tel.publish(nw.sched.Now())
+	}
+	if nw.wantSnapshot.Load() {
+		nw.snap.Store(nw.Snapshot())
+	}
 	if d := nw.sched.MaxDepth(); d >= nw.depthThreshold {
 		for nw.depthThreshold <= d {
 			nw.depthThreshold *= 2
@@ -442,6 +498,23 @@ func (nw *Network) afterBatch() {
 // noteJoinedGauge refreshes the joined-nodes gauge.
 func (nw *Network) noteJoinedGauge() {
 	nw.gJoined.Set(float64(nw.stats.Joined))
+}
+
+// CloseTrace finishes the virtual-time trace: it closes every node's
+// open radio-state slice at the current virtual instant and terminates
+// the JSON document. Call once after the final Run; a network without a
+// trace writer returns nil. The trailing flush depends only on the final
+// virtual time, so traces stay byte-identical however the run was
+// batched.
+func (nw *Network) CloseTrace() error {
+	if nw.tel == nil || nw.tel.trace == nil {
+		return nil
+	}
+	now := nw.sched.Now()
+	for i := range nw.nodes {
+		nw.tel.radioTransition(i, now, RadioIdle)
+	}
+	return nw.tel.trace.Close()
 }
 
 // Stats snapshots the counters. Call between Run invocations.

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"time"
+)
+
+// The virtual-time trace exporter emits Chrome trace-event JSON (the
+// format ui.perfetto.dev and chrome://tracing load natively): two tracks
+// per node — a MAC track of frame slices with collision/erasure/deaf
+// markers, and a radio track of state slices from the energy
+// accountant's state machine. Events stream through a bounded buffer as
+// the event loop produces them, so thousand-node minute-long runs never
+// hold the trace in memory; timestamps are formatted with pure integer
+// arithmetic, so two same-seed runs produce byte-identical files — the
+// trace is itself a determinism oracle.
+
+// trace track layout: process 1, two threads per node.
+const tracePID = 1
+
+// macTID is the node's MAC track (frame slices and markers).
+func macTID(node int) int { return 2 * node }
+
+// radioTID is the node's radio track (state-machine slices).
+func radioTID(node int) int { return 2*node + 1 }
+
+// traceWriter streams trace events. All methods are called from the
+// event loop only; errors are sticky and surfaced by Close.
+type traceWriter struct {
+	bw  *bufio.Writer
+	buf []byte // per-event scratch, reused
+	n   uint64 // events written
+	err error
+}
+
+// newTraceWriter wraps w and writes the trace prelude plus the
+// process/thread metadata naming every node's tracks.
+func newTraceWriter(w io.Writer, topo Topology) *traceWriter {
+	tw := &traceWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+	tw.writeString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	tw.meta("process_name", tracePID, -1, "wazabee mesh simulator")
+	for i, spec := range topo.Nodes {
+		name := "node " + strconv.Itoa(i) + " " + spec.Role.String()
+		tw.meta("thread_name", tracePID, macTID(i), name)
+		tw.meta("thread_name", tracePID, radioTID(i), name+" radio")
+	}
+	return tw
+}
+
+// writeString appends raw bytes, keeping the first error.
+func (tw *traceWriter) writeString(s string) {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = tw.bw.WriteString(s)
+}
+
+// flushEvent terminates one event line built in tw.buf.
+func (tw *traceWriter) flushEvent() {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = tw.bw.Write(tw.buf)
+	tw.n++
+}
+
+// open starts one event object: the separating comma (every event —
+// including the first — follows the metadata written by the
+// constructor), newline, and the shared name/phase/pid/tid preamble.
+func (tw *traceWriter) open(name string, ph byte, tid int) {
+	b := tw.buf[:0]
+	b = append(b, ",\n{\"name\":\""...)
+	b = append(b, name...) // names are simulator-chosen ASCII, no escaping needed
+	b = append(b, "\",\"ph\":\""...)
+	b = append(b, ph)
+	b = append(b, "\",\"pid\":"...)
+	b = strconv.AppendInt(b, tracePID, 10)
+	b = append(b, ",\"tid\":"...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	tw.buf = b
+}
+
+// appendMicros renders a virtual instant/duration as microseconds with
+// a fixed three-digit nanosecond fraction — integer arithmetic only, so
+// formatting is byte-stable across runs and platforms.
+func appendMicros(b []byte, d time.Duration) []byte {
+	ns := int64(d)
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+(frac/10)%10), byte('0'+frac%10))
+	return b
+}
+
+// meta writes one metadata event ("M" phase). A negative tid omits the
+// field (process-level metadata).
+func (tw *traceWriter) meta(name string, pid, tid int, value string) {
+	if tw.err != nil {
+		return
+	}
+	b := tw.buf[:0]
+	if tw.n > 0 || name != "process_name" {
+		b = append(b, ",\n"...)
+	} else {
+		b = append(b, '\n')
+	}
+	b = append(b, "{\"name\":\""...)
+	b = append(b, name...)
+	b = append(b, "\",\"ph\":\"M\",\"pid\":"...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	if tid >= 0 {
+		b = append(b, ",\"tid\":"...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+	}
+	b = append(b, ",\"args\":{\"name\":\""...)
+	b = append(b, value...)
+	b = append(b, "\"}}"...)
+	tw.buf = b
+	tw.flushEvent()
+}
+
+// frameSlice records one transmission on the sender's MAC track: a
+// complete ("X") slice spanning the frame's airtime, tagged with the
+// global capture sequence and PSDU size.
+func (tw *traceWriter) frameSlice(node int, kind string, start, dur time.Duration, seq uint64, psduLen int) {
+	if tw.err != nil {
+		return
+	}
+	tw.open(kind, 'X', macTID(node))
+	b := tw.buf
+	b = append(b, ",\"ts\":"...)
+	b = appendMicros(b, start)
+	b = append(b, ",\"dur\":"...)
+	b = appendMicros(b, dur)
+	b = append(b, ",\"args\":{\"seq\":"...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, ",\"bytes\":"...)
+	b = strconv.AppendInt(b, int64(psduLen), 10)
+	b = append(b, "}}"...)
+	tw.buf = b
+	tw.flushEvent()
+}
+
+// stateSlice records one completed radio state interval on the node's
+// radio track. Idle intervals are skipped by the callers — they carry no
+// information beyond the gaps between slices and would dominate the file.
+func (tw *traceWriter) stateSlice(node int, state RadioState, start, dur time.Duration) {
+	if tw.err != nil || dur <= 0 || state == RadioIdle {
+		return
+	}
+	tw.open(state.String(), 'X', radioTID(node))
+	b := tw.buf
+	b = append(b, ",\"ts\":"...)
+	b = appendMicros(b, start)
+	b = append(b, ",\"dur\":"...)
+	b = appendMicros(b, dur)
+	b = append(b, '}')
+	tw.buf = b
+	tw.flushEvent()
+}
+
+// instant records a point marker ("i" phase, thread scope): collisions
+// on the sender's MAC track, erasures and deaf misses on the receiver's.
+func (tw *traceWriter) instant(node int, name string, at time.Duration, seq uint64) {
+	if tw.err != nil {
+		return
+	}
+	tw.open(name, 'i', macTID(node))
+	b := tw.buf
+	b = append(b, ",\"ts\":"...)
+	b = appendMicros(b, at)
+	b = append(b, ",\"s\":\"t\",\"args\":{\"seq\":"...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, "}}"...)
+	tw.buf = b
+	tw.flushEvent()
+}
+
+// Close terminates the JSON document and flushes the buffer. It returns
+// the first error encountered anywhere in the stream.
+func (tw *traceWriter) Close() error {
+	tw.writeString("\n]}\n")
+	if err := tw.bw.Flush(); tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}

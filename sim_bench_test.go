@@ -6,28 +6,34 @@ package wazabee
 // events per wall second — BENCH.json carries them alongside ns/op.
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"wazabee/internal/zigbee/sim"
 )
 
-// BenchmarkSimEventLoop simulates 60 virtual seconds of the 1,111-node
+// benchSimEventLoop simulates 60 virtual seconds of the 1,111-node
 // acceptance mesh (Tree(3,10): full association, 2-second beacon and
-// data cadences, CSMA-CA, multihop forwarding) per iteration.
-func BenchmarkSimEventLoop(b *testing.B) {
+// data cadences, CSMA-CA, multihop forwarding) per iteration under the
+// given instrumentation config.
+func benchSimEventLoop(b *testing.B, cfg sim.Config) {
 	topo := sim.Tree(3, 10)
 	const virtual = 60 * time.Second
+	cfg.Seed = 42
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	var frames, events uint64
 	for i := 0; i < b.N; i++ {
-		nw, err := sim.New(topo, sim.Config{Seed: 42})
+		nw, err := sim.New(topo, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		nw.Run(virtual)
+		if err := nw.CloseTrace(); err != nil {
+			b.Fatal(err)
+		}
 		s := nw.Stats()
 		frames += s.Frames
 		events += s.Events
@@ -38,4 +44,23 @@ func BenchmarkSimEventLoop(b *testing.B) {
 		b.ReportMetric(float64(events)/elapsed, "events/s")
 	}
 	b.ReportMetric(virtual.Seconds()*float64(b.N)/elapsed, "virtual_s/s")
+}
+
+// BenchmarkSimEventLoop is the uninstrumented baseline: the observatory
+// off, every telemetry hook a nil check.
+func BenchmarkSimEventLoop(b *testing.B) {
+	benchSimEventLoop(b, sim.Config{})
+}
+
+// BenchmarkSimEventLoopObservatory runs with per-node/per-link counters
+// and the radio energy accountant enabled — the ISSUE 8 budget is under
+// 10% over the baseline.
+func BenchmarkSimEventLoopObservatory(b *testing.B) {
+	benchSimEventLoop(b, sim.Config{Telemetry: true})
+}
+
+// BenchmarkSimEventLoopTraced additionally streams the Chrome trace
+// (discarded), pricing the full export path.
+func BenchmarkSimEventLoopTraced(b *testing.B) {
+	benchSimEventLoop(b, sim.Config{Telemetry: true, TraceWriter: io.Discard})
 }

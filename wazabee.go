@@ -223,7 +223,24 @@ type (
 	MeshTopology = sim.Topology
 	// MeshConfig carries the run seed, traffic cadences and link model.
 	MeshConfig = sim.Config
+
+	// MeshNodeStats is one node's observatory snapshot: MAC counters,
+	// join latency, radio-state durations and integrated energy.
+	MeshNodeStats = sim.NodeStats
+	// MeshLinkStats is one directed (tx → rx) link's delivery record.
+	MeshLinkStats = sim.LinkStats
+	// MeshSnapshot is the full observatory state (/debug/sim's payload).
+	MeshSnapshot = sim.Snapshot
+	// MeshEnergyProfile is a per-chip radio current-draw table for the
+	// energy accountant.
+	MeshEnergyProfile = sim.EnergyProfile
 )
+
+// MeshEnergyProfileByName resolves an energy-accountant chip name
+// ("cc2652", "nrf52840") to its current-draw profile.
+func MeshEnergyProfileByName(name string) (MeshEnergyProfile, error) {
+	return sim.ProfileByName(name)
+}
 
 // NewMeshNetwork builds a simulator over a topology — see sim.Star,
 // sim.Tree and sim.Random for generators, and cmd/wazabeesim for the
