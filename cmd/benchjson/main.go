@@ -153,21 +153,72 @@ type historyRecord struct {
 	report
 }
 
-// appendHistory appends the report as one compact timestamped JSON line.
-func appendHistory(path string, rep *report, at time.Time) error {
+// appendHistory appends the report as one compact timestamped JSON
+// line — unless the file's last line already holds an identical report
+// (timestamp aside), in which case the append is skipped: re-running
+// `make bench` without a perf change must not bloat the history with
+// duplicate entries. It reports whether a line was written.
+func appendHistory(path string, rep *report, at time.Time) (bool, error) {
+	if dup, err := lastHistoryMatches(path, rep); err != nil {
+		return false, err
+	} else if dup {
+		return false, nil
+	}
 	line, err := json.Marshal(historyRecord{At: at.UTC().Format(time.RFC3339), report: *rep})
 	if err != nil {
-		return err
+		return false, err
 	}
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if _, err := f.Write(append(line, '\n')); err != nil {
 		f.Close()
-		return err
+		return false, err
 	}
-	return f.Close()
+	return true, f.Close()
+}
+
+// lastHistoryMatches reports whether the final line of the history file
+// decodes to the same report as rep, ignoring the At timestamp.
+// A missing file, an empty file or an unparseable last line all count
+// as "no match" — appending is always safe then.
+func lastHistoryMatches(path string, rep *report) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer f.Close()
+	var last string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			last = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+	if last == "" {
+		return false, nil
+	}
+	var prev historyRecord
+	if err := json.Unmarshal([]byte(last), &prev); err != nil {
+		return false, nil
+	}
+	prevJSON, err := json.Marshal(prev.report)
+	if err != nil {
+		return false, nil
+	}
+	repJSON, err := json.Marshal(*rep)
+	if err != nil {
+		return false, err
+	}
+	return string(prevJSON) == string(repJSON), nil
 }
 
 func run(inPath, outPath, historyPath string) error {
@@ -188,7 +239,7 @@ func run(inPath, outPath, historyPath string) error {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
 	if historyPath != "" {
-		if err := appendHistory(historyPath, rep, time.Now()); err != nil {
+		if _, err := appendHistory(historyPath, rep, time.Now()); err != nil {
 			return fmt.Errorf("append history: %w", err)
 		}
 	}

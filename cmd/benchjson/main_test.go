@@ -58,18 +58,22 @@ func TestParseAggregates(t *testing.T) {
 	}
 }
 
-// TestHistoryAppends checks the perf-trajectory log: each run appends one
-// timestamped JSON line, never truncating earlier entries.
+// TestHistoryAppends checks the perf-trajectory log: each run with new
+// numbers appends one timestamped JSON line, never truncating earlier
+// entries, while a rerun with identical numbers is deduplicated (see
+// TestHistoryDedupesConsecutiveDuplicates).
 func TestHistoryAppends(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "bench.out")
 	hist := filepath.Join(dir, "BENCH_history.jsonl")
-	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 2; i++ {
-		if err := run(in, filepath.Join(dir, "BENCH.json"), hist); err != nil {
+	// Two runs with different numbers: both must survive.
+	changed := strings.Replace(sample, "288145 ns/op", "250000 ns/op", 1)
+	for i, text := range []string{sample, changed} {
+		if err := os.WriteFile(in, []byte(text), 0o644); err != nil {
 			t.Fatal(err)
+		}
+		if err := run(in, filepath.Join(dir, "BENCH.json"), hist); err != nil {
+			t.Fatalf("run %d: %v", i, err)
 		}
 	}
 	f, err := os.Open(hist)
@@ -98,5 +102,60 @@ func TestHistoryAppends(t *testing.T) {
 	}
 	if lines != 2 {
 		t.Fatalf("%d history lines after two runs, want 2", lines)
+	}
+}
+
+// TestHistoryDedupesConsecutiveDuplicates checks that re-running the
+// converter over unchanged bench numbers does not grow the history: the
+// last line already carries that report (timestamp aside), so the append
+// is skipped. A later run with different numbers must append again.
+func TestHistoryDedupesConsecutiveDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	hist := filepath.Join(dir, "BENCH_history.jsonl")
+	lines := func() int {
+		f, err := os.Open(hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n := 0
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) != "" {
+				n++
+			}
+		}
+		return n
+	}
+
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := run(in, filepath.Join(dir, "BENCH.json"), hist); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if got := lines(); got != 1 {
+		t.Fatalf("%d history lines after three identical runs, want 1 (duplicates must dedupe)", got)
+	}
+
+	changed := strings.Replace(sample, "288145 ns/op", "123456 ns/op", 1)
+	if err := os.WriteFile(in, []byte(changed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, filepath.Join(dir, "BENCH.json"), hist); err != nil {
+		t.Fatal(err)
+	}
+	if got := lines(); got != 2 {
+		t.Fatalf("%d history lines after a changed report, want 2", got)
+	}
+	// And duplicates of the *new* last line dedupe too.
+	if err := run(in, filepath.Join(dir, "BENCH.json"), hist); err != nil {
+		t.Fatal(err)
+	}
+	if got := lines(); got != 2 {
+		t.Fatalf("%d history lines after re-running the changed report, want 2", got)
 	}
 }

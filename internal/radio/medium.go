@@ -74,6 +74,13 @@ func (m *Medium) AddWiFi(w WiFiInterferer) {
 
 // Rand exposes the medium's random source so callers sequencing several
 // deliveries share one deterministic stream.
+//
+// The returned *rand.Rand is NOT synchronised: it must only be used
+// from the single goroutine that drives this medium's waveform
+// deliveries (Deliver, DeliverChunks, Replay all draw from it).
+// Seed-parameterised deliveries — DeliverVirtual and the symbol/frame
+// fidelity tiers of Channel — never touch this stream, which is what
+// makes them safe to call concurrently with per-call seeds.
 func (m *Medium) Rand() *rand.Rand {
 	return m.rnd
 }
