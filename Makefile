@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health smoke-sim ci
+.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health smoke-sim calibrate calibrate-check ci
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,17 @@ racesim:
 determinism:
 	$(GO) test -run 'DeterministicAcrossWorkers|OrderIndependent|CheckpointResume|CancellationAndResume|ShuffledPointOrder' -count 1 ./internal/experiment ./internal/experiment/runner
 	$(GO) test -run 'TestSimDeterministic|TestSimSeedsDiverge|TestRunDeterministicDigest' -count 1 ./internal/zigbee/sim ./cmd/wazabeesim
+	$(GO) test -run 'TestFidelity' -count 1 ./internal/experiment
+
+# Refit the symbol/frame-tier calibration tables from the IQ ground
+# truth (internal/calib; ~20 s) and embed them. calibrate-check refits
+# into memory and fails when the checked-in table has drifted from what
+# the current DSP chain produces — the guard that keeps the cheap tiers
+# honest as the IQ path evolves.
+calibrate:
+	$(GO) run ./cmd/calibrate
+calibrate-check:
+	$(GO) run ./cmd/calibrate -check
 
 # One-shot link diagnostics over the simulated medium: exercises the
 # whole TX → medium → RX → LinkStats path from the CLI.
@@ -77,4 +88,4 @@ smoke-health:
 smoke-sim:
 	./scripts/smoke-sim.sh
 
-ci: vet build test race racestream racerunner racesim determinism fuzz smoke smoke-health smoke-sim
+ci: vet build test race racestream racerunner racesim determinism calibrate-check fuzz smoke smoke-health smoke-sim

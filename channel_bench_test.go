@@ -1,0 +1,106 @@
+package wazabee
+
+// Throughput comparison of the fidelity tiers behind radio.Channel
+// (DESIGN.md §14): the same frame delivery at the same operating point
+// through full IQ synthesis, calibrated per-symbol draws, and the
+// closed-form per-frame erasure model. The trials/sec gap between the
+// tiers is the headline number of the calibration work — the symbol
+// tier must clear 100x the IQ tier's trial throughput.
+
+import (
+	"testing"
+
+	"wazabee/internal/chip"
+	"wazabee/internal/dsp"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/obs"
+	"wazabee/internal/radio"
+	"wazabee/internal/zigbee"
+)
+
+func benchChannel(b *testing.B, fid radio.Fidelity) {
+	b.Helper()
+	model := chip.NRF52832()
+	medium, err := radio.NewMedium(benchSPS*ieee802154.ChipRate, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	medium.Obs = obs.NewRegistry()
+
+	frame := ieee802154.NewDataFrame(1, zigbee.DefaultPAN, zigbee.DefaultCoordinator,
+		zigbee.DefaultSensor, zigbee.SensorPayload(0x2a), false)
+	psdu, err := frame.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	freq, err := ieee802154.ChannelFrequencyMHz(zigbee.DefaultChannel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	link := radio.Link{
+		SNRdB:       5 - model.NoiseFigureDB,
+		LeadSamples: 30 * benchSPS,
+		LagSamples:  15 * benchSPS,
+	}
+
+	opts := radio.ChannelOptions{Profile: radio.CalProfileName(model.Name, "reception")}
+	if fid == radio.FidelityIQ {
+		zigbeePHY, err := chip.RZUSBStick().NewZigbeePHY(benchSPS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rx, err := model.NewWazaBeeReceiver(benchSPS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Endpoints = &radio.IQEndpoints{
+			Modulate: func(psdu []byte) (dsp.IQ, error) {
+				ppdu, err := ieee802154.NewPPDU(psdu)
+				if err != nil {
+					return nil, err
+				}
+				return zigbeePHY.Modulate(ppdu)
+			},
+			Demodulate: func(capture dsp.IQ) ([]byte, error) {
+				dem, err := rx.Receive(capture)
+				if err != nil {
+					return nil, err
+				}
+				return dem.PPDU.PSDU, nil
+			},
+		}
+	}
+	ch, err := medium.Channel(fid, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	delivered := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ch.Deliver(radio.FrameSpec{
+			PSDU:      psdu,
+			TxFreqMHz: freq,
+			RxFreqMHz: freq,
+			Link:      link,
+			Seed:      uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Delivered() {
+			delivered++
+		}
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "valid-rate")
+}
+
+// BenchmarkChannelFidelity measures one mid-waterfall frame delivery
+// per iteration on each tier of the radio.Channel interface.
+func BenchmarkChannelFidelity(b *testing.B) {
+	for _, fid := range []radio.Fidelity{radio.FidelityIQ, radio.FidelitySymbol, radio.FidelityFrame} {
+		b.Run(fid.String(), func(b *testing.B) {
+			benchChannel(b, fid)
+		})
+	}
+}

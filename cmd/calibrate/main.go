@@ -1,0 +1,80 @@
+// Command calibrate regenerates the fidelity-tier calibration table:
+// the offline pass that runs ground-truth IQ frames across the Table III
+// operating grid (both WazaBee chips on both sides plus the native
+// O-QPSK link, an SNR sweep through the waterfall knee, crystal-budget
+// carrier offsets, clean and WiFi-degraded channels) and fits the
+// per-cell sync-failure rates and despreading distance distributions the
+// symbol and frame fidelity tiers replay.
+//
+// Usage:
+//
+//	go run ./cmd/calibrate                  # rewrite internal/radio/caldata/table.json
+//	go run ./cmd/calibrate -check           # regenerate and fail on drift (CI)
+//	go run ./cmd/calibrate -frames 64 -out /tmp/table.json
+//
+// The fit is fully deterministic in -seed, so -check is a byte
+// comparison: any drift means the DSP chain, the chip models or the
+// fitter changed without the table being regenerated.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wazabee/internal/calib"
+	"wazabee/internal/obs"
+)
+
+func main() {
+	obs.RegisterBuildInfo(nil)
+	out := flag.String("out", "internal/radio/caldata/table.json", "where to write the fitted table")
+	check := flag.Bool("check", false, "regenerate and compare against -out instead of writing; non-zero exit on drift")
+	frames := flag.Int("frames", calib.DefaultOptions().FramesPerCell, "ground-truth frames per grid cell")
+	seed := flag.Int64("seed", calib.DefaultOptions().Seed, "fit seed")
+	sps := flag.Int("sps", calib.DefaultOptions().SamplesPerChip, "IQ samples per chip")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	opts := calib.Options{SamplesPerChip: *sps, FramesPerCell: *frames, Seed: *seed}
+	start := time.Now()
+	if !*quiet {
+		opts.Progress = func(profile string, done, total int) {
+			fmt.Fprintf(os.Stderr, "calibrate: [%d/%d] %-25s %s\n", done, total, profile, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	table, err := calib.Fit(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(table, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+
+	if *check {
+		have, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate: read checked-in table:", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(have, data) {
+			fmt.Fprintf(os.Stderr, "calibrate: %s drifted from a fresh fit (regenerate with `make calibrate`)\n", *out)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "calibrate: %s matches a fresh fit (%s)\n", *out, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "calibrate: wrote %s (%d profiles, %d bytes, %s)\n",
+		*out, len(table.Profiles), len(data), time.Since(start).Round(time.Millisecond))
+}

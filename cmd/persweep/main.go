@@ -16,6 +16,7 @@ import (
 	"wazabee/internal/chip"
 	"wazabee/internal/experiment"
 	"wazabee/internal/obs"
+	"wazabee/internal/radio"
 )
 
 func main() {
@@ -32,13 +33,20 @@ func run() error {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size; 0 = GOMAXPROCS (results are identical at any value)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file prefix; each chip/side sweep persists completed shards to <prefix>.<chip>.<side>.json and resumes from it (Ctrl-C is a clean interruption)")
 	ciHalf := flag.Float64("ci", 0, "adaptive stop: end each SNR point once the 95% CI half-width of its PER reaches this target; 0 = fixed frame count")
+	fidelity := flag.String("fidelity", "iq", "frame-delivery tier: iq (full DSP ground truth), symbol (calibrated per-symbol draws) or frame (closed-form erasures)")
 	flag.Parse()
+
+	fid, err := radio.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
 
 	cfg := experiment.DefaultSweepConfig()
 	cfg.FramesPerPoint = *frames
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.CIHalfWidth = *ciHalf
+	cfg.Fidelity = fid
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -20,6 +20,7 @@ import (
 	"wazabee/internal/experiment"
 	"wazabee/internal/modsim"
 	"wazabee/internal/obs"
+	"wazabee/internal/radio"
 )
 
 func main() {
@@ -37,7 +38,14 @@ func run() error {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size; 0 = GOMAXPROCS (results are identical at any value)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file; completed shards persist here and an identical invocation resumes from it")
 	ciHalf := flag.Float64("ci", 0, "adaptive stop: end each entry once the 95% CI half-width of its pivotable rate reaches this target; 0 = fixed burst count")
+	fidelity := flag.String("fidelity", "iq", "frame-delivery tier; the modulation-similarity survey has no calibrated shortcut, so only iq is accepted")
 	flag.Parse()
+
+	if fid, err := radio.ParseFidelity(*fidelity); err != nil {
+		return err
+	} else if fid != radio.FidelityIQ {
+		return fmt.Errorf("-fidelity %s is not supported: pivotscan scores raw modulation similarity, which only exists at IQ fidelity", fid)
+	}
 
 	if *bursts == 1 && *checkpoint == "" && *ciHalf == 0 {
 		scores, err := modsim.SurveyAgainstOQPSK(*sps, *seed)

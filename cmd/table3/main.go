@@ -46,6 +46,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size; 0 = GOMAXPROCS (results are identical at any value)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file prefix; each chip/side run persists completed shards to <prefix>.<chip>.<side>.json and resumes from it (Ctrl-C is a clean interruption)")
 	ciHalf := flag.Float64("ci", 0, "adaptive stop: end each channel once the 95% CI half-width of its valid rate reaches this target; 0 = fixed frame count")
+	fidelity := flag.String("fidelity", "iq", "frame-delivery tier: iq (full DSP ground truth), symbol (calibrated per-symbol draws) or frame (closed-form erasures)")
 	metrics := flag.Bool("metrics", false, "print the telemetry snapshot and a traced round trip after the run")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and net/http/pprof on this address (e.g. :9090); implies -metrics and keeps the process alive")
 	flag.Parse()
@@ -81,12 +82,18 @@ func run() error {
 		fmt.Printf("serving /metrics and /debug/pprof on %s\n\n", *metricsAddr)
 	}
 
+	fid, err := radio.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
+
 	cfg := experiment.DefaultConfig()
 	cfg.FramesPerChannel = *frames
 	cfg.Seed = *seed
 	cfg.WiFi = *wifi
 	cfg.Workers = *workers
 	cfg.CIHalfWidth = *ciHalf
+	cfg.Fidelity = fid
 	cfg.Obs = reg
 
 	// Ctrl-C cancels the sweep cleanly: with -checkpoint set, the

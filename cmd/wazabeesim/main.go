@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"wazabee/internal/obs"
+	"wazabee/internal/radio"
 	"wazabee/internal/zigbee/sim"
 )
 
@@ -39,6 +40,7 @@ type config struct {
 	snrDB    float64
 	beacon   time.Duration
 	data     time.Duration
+	fidelity string
 	digest   bool
 	jsonOut  bool
 	progress bool
@@ -69,6 +71,7 @@ func registerFlags(fs *flag.FlagSet, cfg *config) {
 	fs.DurationVar(&cfg.duration, "duration", 60*time.Second, "virtual time to simulate")
 	fs.DurationVar(&cfg.batch, "batch", time.Second, "virtual-time batch per scheduler advance (telemetry cadence; any value yields the identical run)")
 	fs.Float64Var(&cfg.snrDB, "snr", 25, "per-link SNR in dB for the erasure model")
+	fs.StringVar(&cfg.fidelity, "fidelity", "frame", "delivery tier: frame (one calibrated erasure draw per frame) or symbol (per-symbol chip-error draws through the real despreader)")
 	fs.DurationVar(&cfg.beacon, "beacon-interval", 2*time.Second, "coordinator/router beacon cadence")
 	fs.DurationVar(&cfg.data, "data-interval", 2*time.Second, "sensor reporting cadence")
 	fs.BoolVar(&cfg.digest, "digest", true, "fold every capture into a sha256 digest and print it")
@@ -187,9 +190,18 @@ func run(args []string, out, errOut io.Writer) error {
 	reg := obs.NewRegistry()
 	flight := obs.NewFlight(256)
 	health := obs.NewHealth(reg)
+	fid, err := radio.ParseFidelity(cfg.fidelity)
+	if err != nil {
+		return err
+	}
+	if fid == radio.FidelityIQ {
+		return fmt.Errorf("-fidelity iq is not supported by the mesh simulator (use symbol or frame)")
+	}
+
 	simCfg := sim.Config{
 		Seed:           cfg.seed,
 		SNRdB:          cfg.snrDB,
+		Fidelity:       fid,
 		BeaconInterval: cfg.beacon,
 		DataInterval:   cfg.data,
 		Registry:       reg,

@@ -86,6 +86,9 @@ type SweepConfig struct {
 	// classification counters plus pipeline metrics), merged in when the
 	// sweep completes. Nil merges into the process default registry.
 	Obs *obs.Registry
+	// Fidelity selects the frame-delivery tier (zero means FidelityIQ);
+	// see Config.Fidelity.
+	Fidelity radio.Fidelity
 }
 
 // DefaultSweepConfig covers the interesting 0–14 dB region.
@@ -194,14 +197,10 @@ func RunSweepContext(ctx context.Context, cfg SweepConfig, model chip.Model, sid
 }
 
 // sweepTrial measures one frame at one operating point on a medium
-// seeded from the trial's derived seed alone.
+// seeded from the trial's derived seed alone, routed through
+// radio.Channel at the configured fidelity tier (a clean channel: no
+// WiFi, no CFO — pure sensitivity).
 func sweepTrial(cfg SweepConfig, reg *obs.Registry, model chip.Model, side Side, freq, snr float64, seed int64, frame int) (string, error) {
-	stick := chip.RZUSBStick()
-	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
-	if err != nil {
-		return "", err
-	}
-	zigbeePHY.Obs = reg
 	medium, err := radio.NewMedium(float64(cfg.SamplesPerChip)*ieee802154.ChipRate, seed)
 	if err != nil {
 		return "", err
@@ -214,71 +213,110 @@ func sweepTrial(cfg SweepConfig, reg *obs.Registry, model chip.Model, side Side,
 	if err != nil {
 		return "", err
 	}
-	ppdu, err := ieee802154.NewPPDU(psdu)
-	if err != nil {
-		return "", err
-	}
 
-	var sig dsp.IQ
 	var rxNF float64
 	switch side {
 	case Reception:
-		sig, err = zigbeePHY.Modulate(ppdu)
 		rxNF = model.NoiseFigureDB
 	case Transmission:
-		tx, terr := model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
-		if terr != nil {
-			return "", terr
-		}
-		tx.Obs = reg
-		sig, err = tx.Modulate(ppdu)
-		rxNF = stick.NoiseFigureDB
-	}
-	if err != nil {
-		return "", err
+		rxNF = chip.RZUSBStick().NoiseFigureDB
 	}
 	link := radio.Link{
 		SNRdB:       snr - rxNF,
 		LeadSamples: 30 * cfg.SamplesPerChip,
 		LagSamples:  15 * cfg.SamplesPerChip,
 	}
-	capture, err := medium.Deliver(sig, freq, freq, link)
+
+	fid := cfg.Fidelity
+	if fid == 0 {
+		fid = radio.FidelityIQ
+	}
+	var ch radio.Channel
+	if fid == radio.FidelityIQ {
+		ep, eperr := sweepEndpoints(cfg, reg, model, side)
+		if eperr != nil {
+			return "", eperr
+		}
+		ch, err = medium.Channel(fid, radio.ChannelOptions{Endpoints: ep})
+	} else {
+		ch, err = medium.Channel(fid, radio.ChannelOptions{
+			Profile: radio.CalProfileName(model.Name, side.String()),
+		})
+	}
 	if err != nil {
 		return "", err
 	}
-	return classifySweep(model, zigbeePHY, side, cfg.SamplesPerChip, reg, capture, psdu), nil
+
+	out, err := ch.Deliver(radio.FrameSpec{
+		PSDU:      psdu,
+		TxFreqMHz: freq,
+		RxFreqMHz: freq,
+		Link:      link,
+		Seed:      uint64(seed),
+	})
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case out.DecodeErr != nil:
+		return "lost", nil
+	case out.Valid:
+		return "valid", nil
+	default:
+		return "corrupted", nil
+	}
 }
 
-// classifySweep maps one delivered capture to its outcome class:
-// reception/decode failures are "lost", payload mismatches "corrupted".
-func classifySweep(model chip.Model, zigbeePHY *ieee802154.PHY, side Side, sps int, reg *obs.Registry, capture dsp.IQ, want []byte) string {
-	var psdu []byte
+// sweepEndpoints builds the IQ-tier modem pair of one sweep trial.
+func sweepEndpoints(cfg SweepConfig, reg *obs.Registry, model chip.Model, side Side) (*radio.IQEndpoints, error) {
+	zigbeePHY, err := chip.RZUSBStick().NewZigbeePHY(cfg.SamplesPerChip)
+	if err != nil {
+		return nil, err
+	}
+	zigbeePHY.Obs = reg
+	modulate := func(phyMod func(*ieee802154.PPDU) (dsp.IQ, error)) func([]byte) (dsp.IQ, error) {
+		return func(psdu []byte) (dsp.IQ, error) {
+			ppdu, err := ieee802154.NewPPDU(psdu)
+			if err != nil {
+				return nil, err
+			}
+			return phyMod(ppdu)
+		}
+	}
 	switch side {
 	case Reception:
-		rx, err := model.NewWazaBeeReceiver(sps)
+		rx, err := model.NewWazaBeeReceiver(cfg.SamplesPerChip)
 		if err != nil {
-			return "lost"
+			return nil, err
 		}
 		rx.Obs = reg
-		dem, err := rx.Receive(capture)
-		if err != nil {
-			return "lost"
-		}
-		psdu = dem.PPDU.PSDU
+		return &radio.IQEndpoints{
+			Modulate: modulate(zigbeePHY.Modulate),
+			Demodulate: func(capture dsp.IQ) ([]byte, error) {
+				dem, err := rx.Receive(capture)
+				if err != nil {
+					return nil, err
+				}
+				return dem.PPDU.PSDU, nil
+			},
+		}, nil
 	case Transmission:
-		dem, err := zigbeePHY.Demodulate(capture)
+		tx, err := model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
 		if err != nil {
-			return "lost"
+			return nil, err
 		}
-		psdu = dem.PPDU.PSDU
+		tx.Obs = reg
+		return &radio.IQEndpoints{
+			Modulate: modulate(tx.Modulate),
+			Demodulate: func(capture dsp.IQ) ([]byte, error) {
+				dem, err := zigbeePHY.Demodulate(capture)
+				if err != nil {
+					return nil, err
+				}
+				return dem.PPDU.PSDU, nil
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: invalid side %d", int(side))
 	}
-	if len(psdu) != len(want) {
-		return "corrupted"
-	}
-	for i := range want {
-		if psdu[i] != want[i] {
-			return "corrupted"
-		}
-	}
-	return "valid"
 }

@@ -13,15 +13,12 @@
 package experiment
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"strconv"
 
-	"wazabee/internal/bitstream"
 	"wazabee/internal/chip"
-	"wazabee/internal/core"
 	"wazabee/internal/dsp"
 	"wazabee/internal/experiment/runner"
 	"wazabee/internal/ieee802154"
@@ -108,6 +105,12 @@ type Config struct {
 	// airtime, power relative to the received signal).
 	WiFiDutyCycle float64
 	WiFiPower     float64
+	// Fidelity selects the frame-delivery tier (see radio.Fidelity):
+	// FidelityIQ (the default) replays the full DSP chain, FidelitySymbol
+	// draws calibrated per-symbol chip errors through the real
+	// despreader, FidelityFrame reduces each frame to one erasure draw.
+	// Link aggregation (Config.Link) only populates on the IQ tier.
+	Fidelity radio.Fidelity
 }
 
 // DefaultConfig reproduces the paper's setup.
@@ -292,6 +295,12 @@ func RunContext(ctx context.Context, cfg Config, model chip.Model, side Side) (*
 // interference gating — flows from the trial's derived seed and nothing
 // else. That isolation is what makes the cell independent of which
 // worker, and in which order, ran it.
+//
+// Delivery routes through radio.Channel at the configured fidelity
+// tier. The per-trial operating point (medium, WiFi environment, CFO
+// draw) is built identically for every tier, so the symbol and frame
+// tiers measure the same grid the IQ tier does — just through the
+// calibrated tables instead of the DSP chain.
 func table3Trial(cfg Config, reg *obs.Registry, model chip.Model, side Side, channel int, seed int64, frame int) (string, error) {
 	sampleRate := float64(cfg.SamplesPerChip) * ieee802154.ChipRate
 	medium, err := radio.NewMedium(sampleRate, seed)
@@ -310,34 +319,6 @@ func table3Trial(cfg Config, reg *obs.Registry, model chip.Model, side Side, cha
 		}
 	}
 
-	stick := chip.RZUSBStick()
-	zigbeePHY, err := stick.NewZigbeePHY(cfg.SamplesPerChip)
-	if err != nil {
-		return "", err
-	}
-	zigbeePHY.Obs = reg
-
-	var (
-		wazaTX *core.Transmitter
-		wazaRX *core.Receiver
-	)
-	switch side {
-	case Reception:
-		wazaRX, err = model.NewWazaBeeReceiver(cfg.SamplesPerChip)
-		if wazaRX != nil {
-			wazaRX.Obs = reg
-		}
-	case Transmission:
-		wazaTX, err = model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
-		if wazaTX != nil {
-			wazaTX.Obs = reg
-		}
-	}
-	if err != nil {
-		return "", err
-	}
-
-	rnd := medium.Rand()
 	freq, err := ieee802154.ChannelFrequencyMHz(channel)
 	if err != nil {
 		return "", err
@@ -351,30 +332,25 @@ func table3Trial(cfg Config, reg *obs.Registry, model chip.Model, side Side, cha
 	if err != nil {
 		return "", err
 	}
-	ppdu, err := ieee802154.NewPPDU(psdu)
-	if err != nil {
-		return "", err
-	}
 
-	var sig dsp.IQ
+	stick := chip.RZUSBStick()
 	var rxNF, rxRej, txPPM, rxPPM float64
 	switch side {
 	case Reception:
-		sig, err = zigbeePHY.Modulate(ppdu)
 		rxNF = model.NoiseFigureDB
 		rxRej = model.InterferenceRejectionDB
 		txPPM, rxPPM = stick.CrystalPPM, model.CrystalPPM
 	case Transmission:
-		sig, err = wazaTX.Modulate(ppdu)
 		rxNF = stick.NoiseFigureDB
 		rxRej = stick.InterferenceRejectionDB
 		txPPM, rxPPM = model.CrystalPPM, stick.CrystalPPM
 	}
-	if err != nil {
-		return "", err
-	}
 
-	cfoHz := (rnd.Float64()*2 - 1) * (txPPM + rxPPM) * freq // 1 ppm at f MHz = f Hz
+	// The CFO draw is the first consumption of the medium's seeded
+	// stream on every tier, keeping the IQ results byte-identical to the
+	// pre-Channel implementation and giving the calibrated tiers the
+	// same per-trial operating point.
+	cfoHz := (medium.Rand().Float64()*2 - 1) * (txPPM + rxPPM) * freq // 1 ppm at f MHz = f Hz
 	link := radio.Link{
 		SNRdB:                   cfg.SNRdB - rxNF,
 		CFOHz:                   cfoHz,
@@ -382,43 +358,109 @@ func table3Trial(cfg Config, reg *obs.Registry, model chip.Model, side Side, cha
 		LagSamples:              20 * cfg.SamplesPerChip,
 		InterferenceRejectionDB: rxRej,
 	}
-	capture, err := medium.Deliver(sig, freq, freq, link)
+
+	fid := cfg.Fidelity
+	if fid == 0 {
+		fid = radio.FidelityIQ
+	}
+	var ch radio.Channel
+	var st *oblink.Stats
+	if fid == radio.FidelityIQ {
+		ep, eperr := table3Endpoints(cfg, reg, model, side, &st)
+		if eperr != nil {
+			return "", eperr
+		}
+		ch, err = medium.Channel(fid, radio.ChannelOptions{Endpoints: ep})
+	} else {
+		ch, err = medium.Channel(fid, radio.ChannelOptions{
+			Profile: radio.CalProfileName(model.Name, side.String()),
+		})
+	}
 	if err != nil {
 		return "", err
 	}
 
-	var psduRx []byte
-	var st *oblink.Stats
-	switch side {
-	case Reception:
-		dem, stats, rerr := wazaRX.ReceiveStats(capture)
-		st = stats
-		if rerr != nil {
-			err = rerr
-		} else {
-			psduRx = dem.PPDU.PSDU
-		}
-	case Transmission:
-		dem, stats, rerr := zigbeePHY.DemodulateStats(capture)
-		st = stats
-		if rerr != nil {
-			err = rerr
-		} else {
-			psduRx = dem.PPDU.PSDU
-		}
+	out, err := ch.Deliver(radio.FrameSpec{
+		PSDU:      psdu,
+		TxFreqMHz: freq,
+		RxFreqMHz: freq,
+		Link:      link,
+		Seed:      uint64(seed),
+	})
+	if err != nil {
+		return "", err
 	}
-	if cfg.Link != nil {
+	if cfg.Link != nil && st != nil {
 		cfg.Link.Observe(channel, st)
 	}
 
 	switch {
-	case errors.Is(err, ieee802154.ErrNoSync):
+	case errors.Is(out.DecodeErr, ieee802154.ErrNoSync):
 		return "not_received", nil
-	case err != nil:
-		return "", err
-	case bitstream.CheckFCS(psduRx) && bytes.Equal(psduRx, psdu):
+	case out.DecodeErr != nil:
+		return "", out.DecodeErr
+	case out.Valid:
 		return "valid", nil
 	default:
 		return "corrupted", nil
+	}
+}
+
+// table3Endpoints builds the IQ-tier modem pair of one trial: the
+// legitimate RZUSBStick O-QPSK modem on one end and the diverted BLE
+// chip's WazaBee primitive on the other, with the receiver's link
+// diagnostics captured into *stats for the run's aggregator.
+func table3Endpoints(cfg Config, reg *obs.Registry, model chip.Model, side Side, stats **oblink.Stats) (*radio.IQEndpoints, error) {
+	zigbeePHY, err := chip.RZUSBStick().NewZigbeePHY(cfg.SamplesPerChip)
+	if err != nil {
+		return nil, err
+	}
+	zigbeePHY.Obs = reg
+	modulate := func(phyMod func(*ieee802154.PPDU) (dsp.IQ, error)) func([]byte) (dsp.IQ, error) {
+		return func(psdu []byte) (dsp.IQ, error) {
+			ppdu, err := ieee802154.NewPPDU(psdu)
+			if err != nil {
+				return nil, err
+			}
+			return phyMod(ppdu)
+		}
+	}
+	switch side {
+	case Reception:
+		wazaRX, err := model.NewWazaBeeReceiver(cfg.SamplesPerChip)
+		if err != nil {
+			return nil, err
+		}
+		wazaRX.Obs = reg
+		return &radio.IQEndpoints{
+			Modulate: modulate(zigbeePHY.Modulate),
+			Demodulate: func(capture dsp.IQ) ([]byte, error) {
+				dem, st, err := wazaRX.ReceiveStats(capture)
+				*stats = st
+				if err != nil {
+					return nil, err
+				}
+				return dem.PPDU.PSDU, nil
+			},
+		}, nil
+	case Transmission:
+		wazaTX, err := model.NewWazaBeeTransmitter(cfg.SamplesPerChip)
+		if err != nil {
+			return nil, err
+		}
+		wazaTX.Obs = reg
+		return &radio.IQEndpoints{
+			Modulate: modulate(wazaTX.Modulate),
+			Demodulate: func(capture dsp.IQ) ([]byte, error) {
+				dem, st, err := zigbeePHY.DemodulateStats(capture)
+				*stats = st
+				if err != nil {
+					return nil, err
+				}
+				return dem.PPDU.PSDU, nil
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: invalid side %d", int(side))
 	}
 }

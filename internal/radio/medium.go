@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"wazabee/internal/dsp"
@@ -49,9 +50,11 @@ type Medium struct {
 	rnd         *rand.Rand
 	interferers []WiFiInterferer
 
-	// perCacheState memoises the virtual-tier frame-success probability
-	// (see DeliverVirtual); zero value is ready to use.
-	perCacheState perCache
+	// virtualCh is the lazily-built frame-fidelity channel behind
+	// DeliverVirtual (see virtualChannel).
+	virtualOnce sync.Once
+	virtualCh   Channel
+	virtualErr  error
 }
 
 // NewMedium builds a medium with the given sample rate and seed. All

@@ -1,12 +1,5 @@
 package radio
 
-import (
-	"math"
-	"sync"
-
-	"wazabee/internal/obs"
-)
-
 // VirtualOutcome is the frame-level result of a virtual-time delivery:
 // whether the burst reached the receiver's passband at all, and whether
 // the frame survived the link's noise. It is the discrete-event
@@ -26,110 +19,48 @@ type VirtualOutcome struct {
 	SuccessProb float64
 }
 
-// perCache memoises the most recent (SNR, adjacent, length) → success
-// probability computation. Virtual meshes deliver millions of frames at
-// a handful of distinct operating points, so one entry captures nearly
-// every lookup.
-type perCache struct {
-	mu      sync.Mutex
-	snrDB   float64
-	adj     bool
-	psduLen int
-	valid   bool
-	prob    float64
-}
-
-// DeliverVirtual propagates one frame at the frame level: no waveform is
-// synthesised; instead the link SNR is mapped to a per-frame decode
-// probability (independent chip errors, nearest-codeword DSSS decoding)
-// and the outcome is drawn deterministically from seed. The decision
-// depends only on (link, frequencies, psduLen, seed) — never on the
-// medium's shared random stream — so virtual deliveries are bit-identical
-// at any event order, which is what the discrete-event simulator's
-// determinism contract requires. Out-of-band transmissions are never
-// delivered, mirroring Deliver's passband gate.
+// DeliverVirtual propagates one frame at the frame fidelity tier: no
+// waveform is synthesised; the calibrated per-frame decode probability
+// of the native O-QPSK profile (fitted offline from the IQ tier by
+// cmd/calibrate — see Channel and CalTable) is looked up and the outcome
+// drawn deterministically from seed. The decision depends only on
+// (link, frequencies, psduLen, seed) — never on the medium's shared
+// random stream — so virtual deliveries are bit-identical at any event
+// order, which is what the discrete-event simulator's determinism
+// contract requires. Out-of-band transmissions are never delivered,
+// mirroring Deliver's passband gate.
+//
+// DeliverVirtual is a convenience wrapper over
+// Medium.Channel(FidelityFrame, ...) with the ProfileOQPSK calibration
+// profile; callers that need a different profile or the symbol tier use
+// Channel directly.
 func (m *Medium) DeliverVirtual(psduLen int, txFreqMHz, rxFreqMHz float64, link Link, seed uint64) VirtualOutcome {
-	reg := obs.Or(m.Obs)
-	sep := txFreqMHz - rxFreqMHz
-	if sep < 0 {
-		sep = -sep
+	out, err := m.virtualChannel().Deliver(FrameSpec{
+		PSDULen:   psduLen,
+		TxFreqMHz: txFreqMHz,
+		RxFreqMHz: rxFreqMHz,
+		Link:      link,
+		Seed:      seed,
+	})
+	if err != nil {
+		// The frame tier has no runtime failure modes beyond table
+		// bootstrap, which virtualChannel already vetted.
+		panic("radio: virtual delivery failed: " + err.Error())
 	}
-	if sep >= 2 {
-		reg.Counter("wazabee_medium_bursts_total", "path", "virtual_out_of_band").Inc()
-		return VirtualOutcome{}
-	}
-	adjacent := sep >= 1
-	prob := m.virtualSuccessProb(link.SNRdB, adjacent, psduLen)
-	u := float64(splitmix64radio(seed)>>11) / (1 << 53)
-	out := VirtualOutcome{InBand: true, Delivered: u < prob, SuccessProb: prob}
-	if out.Delivered {
-		reg.Counter("wazabee_medium_bursts_total", "path", "virtual_in_band").Inc()
-	} else {
-		reg.Counter("wazabee_medium_virtual_erased_total").Inc()
-	}
-	return out
+	return VirtualOutcome{InBand: out.InBand, Delivered: out.Delivered(), SuccessProb: out.SuccessProb}
 }
 
-// virtualSuccessProb maps a link SNR to the probability that a frame of
-// psduLen octets decodes. The model: per-chip error probability
-// p = Q(sqrt(2·SNR)) for the MSK-equivalent chip waveform (adjacent-
-// channel bursts arrive 20 dB down, matching Deliver's 0.1 amplitude
-// scale), chip errors independent, and a 32-chip symbol decodes while at
-// most 6 chips are wrong — half the minimum pairwise Hamming distance of
-// the 802.15.4 PN set (Table I's codewords sit 12..20 chips apart). The
-// frame decodes when all 2·(psduLen+2) payload-and-header symbols do.
-// It is a calibrated stand-in, not a DSP replay: the IQ path remains the
-// ground truth (DESIGN.md §12).
-func (m *Medium) virtualSuccessProb(snrDB float64, adjacent bool, psduLen int) float64 {
-	m.perCacheState.mu.Lock()
-	defer m.perCacheState.mu.Unlock()
-	c := &m.perCacheState
-	if c.valid && c.snrDB == snrDB && c.adj == adjacent && c.psduLen == psduLen {
-		return c.prob
+// virtualChannel lazily builds the frame-tier channel DeliverVirtual
+// runs on. The embedded calibration table is checked in and validated
+// by tests, so a bootstrap failure here is a build defect, not a
+// runtime condition — panic with the cause rather than grow an error
+// return on every virtual delivery.
+func (m *Medium) virtualChannel() Channel {
+	m.virtualOnce.Do(func() {
+		m.virtualCh, m.virtualErr = m.Channel(FidelityFrame, ChannelOptions{Profile: ProfileOQPSK})
+	})
+	if m.virtualErr != nil {
+		panic("radio: embedded calibration table unusable: " + m.virtualErr.Error())
 	}
-	eff := snrDB
-	if adjacent {
-		eff -= 20
-	}
-	snr := math.Pow(10, eff/10)
-	p := 0.5 * math.Erfc(math.Sqrt(snr))
-	// P[symbol fails] = P[Binomial(32, p) > 6].
-	symOK := binomialCDF(32, 6, p)
-	symbols := 2 * (psduLen + 2) // PHR + PSDU at two symbols per octet
-	prob := math.Pow(symOK, float64(symbols))
-	c.snrDB, c.adj, c.psduLen, c.valid, c.prob = snrDB, adjacent, psduLen, true, prob
-	return prob
-}
-
-// binomialCDF returns P[Binomial(n, p) <= k] by direct summation; n is
-// tiny (32) so precision and cost are not a concern.
-func binomialCDF(n, k int, p float64) float64 {
-	if p <= 0 {
-		return 1
-	}
-	if p >= 1 {
-		return 0
-	}
-	q := 1 - p
-	// term for i=0: q^n, then multiply up the recurrence.
-	term := math.Pow(q, float64(n))
-	sum := term
-	for i := 1; i <= k; i++ {
-		term *= float64(n-i+1) / float64(i) * p / q
-		sum += term
-	}
-	if sum > 1 {
-		sum = 1
-	}
-	return sum
-}
-
-// splitmix64radio is the SplitMix64 finaliser (same constants as the
-// Monte-Carlo runner's seed discipline), used to turn a structured
-// delivery coordinate into an independent-looking uniform draw.
-func splitmix64radio(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return m.virtualCh
 }

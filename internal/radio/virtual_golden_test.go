@@ -31,23 +31,28 @@ func TestVirtualSuccessProbGolden(t *testing.T) {
 		// exactly, the mid-curve points get a small numerical margin.
 		tol float64
 	}{
+		// The values are the calibrated frame-tier model fitted from the
+		// IQ ground truth (cmd/calibrate); refitting the table with
+		// different options legitimately moves the mid-curve goldens.
+		//
 		// Zero-length PSDU at a healthy mesh SNR: only the PHR can
 		// fail, and at 25 dB it never does.
 		{"zero-length/snr25", 0, 25, 2420, 1, 0},
 		// +60 dB is far beyond any chip-error regime: certain delivery.
 		{"len40/snr+60", 40, 60, 2420, 1, 0},
-		// -60 dB is pure noise: delivery probability is (numerically)
-		// zero — the draw can never succeed.
-		{"len40/snr-60", 40, -60, 2420, 0, 1e-12},
+		// -60 dB clamps to the deepest calibrated cell, where the real
+		// receiver never once achieved sync: exactly zero.
+		{"len40/snr-60", 40, -60, 2420, 0, 0},
 		// The mesh simulator's default operating point.
 		{"len40/snr25/co-channel", 40, 25, 2420, 1, 0},
-		// Adjacent channel: the burst arrives ~20 dB down, which at
-		// 25 dB link SNR still delivers essentially always …
-		{"len40/snr25/adjacent", 40, 25, 2421, 0.99999993418638977, 1e-9},
-		// … but the penalty must be a strict degradation (see below).
-		{"len127/snr5", 127, 5, 2420, 0.99999979785821114, 1e-9},
-		{"len40/snr0", 40, 0, 2420, 0.40009363835587269, 1e-9},
-		{"len40/snr8", 40, 8, 2420, 0.99999999999976685, 1e-9},
+		// Adjacent channel: the burst arrives 20 dB down, so 25 dB link
+		// SNR lands at an effective 5 dB — mid-waterfall, where the IQ
+		// chain measurably loses sync on a few percent of frames …
+		{"len40/snr25/adjacent", 40, 25, 2421, 0.92840461394721263, 1e-9},
+		// … and the penalty must be a strict degradation (see below).
+		{"len127/snr5", 127, 5, 2420, 0.9280507407075802, 1e-9},
+		{"len40/snr0", 40, 0, 2420, 0.084928025194354301, 1e-9},
+		{"len40/snr8", 40, 8, 2420, 1, 1e-9},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

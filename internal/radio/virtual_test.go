@@ -85,15 +85,22 @@ func TestDeliverVirtualAdjacentChannelPenalty(t *testing.T) {
 	}
 }
 
-func TestBinomialCDF(t *testing.T) {
-	if got := binomialCDF(32, 6, 0); got != 1 {
-		t.Errorf("p=0 CDF %g, want 1", got)
+// TestSymbolCorrectProbTable pins the despreader-consistency invariants
+// of the frame tier's per-symbol decode table: up to half the minimum
+// codeword distance always decodes, and more chip errors never help.
+func TestSymbolCorrectProbTable(t *testing.T) {
+	p := symbolCorrectProbTable()
+	for k := 0; k <= 5; k++ {
+		if p[k] != 1 {
+			t.Errorf("P[decode | %d chip errors] = %g, want 1 (min codeword distance 12)", k, p[k])
+		}
 	}
-	if got := binomialCDF(32, 6, 1); got != 0 {
-		t.Errorf("p=1 CDF %g, want 0", got)
+	for k := 7; k <= 16; k++ {
+		if p[k] > p[k-1]+0.02 { // Monte-Carlo jitter margin
+			t.Errorf("P[decode | %d errors] = %g above P[decode | %d] = %g", k, p[k], k-1, p[k-1])
+		}
 	}
-	// P[Bin(4, 0.5) <= 2] = (1+4+6)/16.
-	if got, want := binomialCDF(4, 2, 0.5), 11.0/16; math.Abs(got-want) > 1e-12 {
-		t.Errorf("Bin(4,0.5) CDF %g, want %g", got, want)
+	if p[16] > 0.5 {
+		t.Errorf("P[decode | 16 errors] = %g, want near-random despreading", p[16])
 	}
 }

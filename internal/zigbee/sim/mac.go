@@ -360,8 +360,19 @@ func (nw *Network) txEnd(n *node, out *outgoing, tx *transmission, immediate boo
 				}
 				continue
 			}
-			outcome := nw.med.DeliverVirtual(len(tx.psdu), f, f, link, deliverySeed(nw.cfg.Seed, tx.seq, rxID))
-			if !outcome.Delivered {
+			outcome, err := nw.ch.Deliver(radio.FrameSpec{
+				PSDULen:   len(tx.psdu),
+				TxFreqMHz: f,
+				RxFreqMHz: f,
+				Link:      link,
+				Seed:      deliverySeed(nw.cfg.Seed, tx.seq, rxID),
+			})
+			if err != nil {
+				// The channel was validated at New and the spec is
+				// well-formed by construction; a Deliver error is a bug.
+				panic(err)
+			}
+			if !outcome.Delivered() {
 				nw.stats.Erasures++
 				nw.cErasures.Inc()
 				if t := nw.tel; t != nil {

@@ -110,6 +110,15 @@ type Config struct {
 	// the health component degrades. Default 2s of wall time.
 	StallAfter time.Duration
 
+	// Fidelity selects the frame-delivery tier of the victim links
+	// (radio.FidelitySymbol or radio.FidelityFrame; zero selects
+	// FidelityFrame, the erasure model meshes have always run on).
+	// FidelityIQ is rejected: the mesh simulator never synthesises
+	// waveforms. Same-seed runs are bit-identical within a tier, but
+	// the tiers draw from their calibrated distributions differently,
+	// so digests differ across tiers.
+	Fidelity radio.Fidelity
+
 	// Registry, Trace and Flight receive the simulator's telemetry;
 	// nil falls back to the process defaults.
 	Registry *obs.Registry
@@ -149,6 +158,9 @@ func (c *Config) fill() {
 	}
 	if c.StallAfter <= 0 {
 		c.StallAfter = 2 * time.Second
+	}
+	if c.Fidelity == 0 {
+		c.Fidelity = radio.FidelityFrame
 	}
 	if c.TraceWriter != nil {
 		c.Telemetry = true
@@ -193,6 +205,7 @@ type Network struct {
 	topo  Topology
 	sched *Scheduler
 	med   *radio.Medium
+	ch    radio.Channel // calibrated delivery tier (symbol or frame)
 
 	nodes    []*node
 	topoKids [][]int // topology children by node index
@@ -263,12 +276,20 @@ func New(topo Topology, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	med.Obs = cfg.Registry
+	if cfg.Fidelity == radio.FidelityIQ {
+		return nil, fmt.Errorf("sim: FidelityIQ is not supported (the mesh simulator never synthesises waveforms); use symbol or frame")
+	}
+	ch, err := med.Channel(cfg.Fidelity, radio.ChannelOptions{Profile: radio.ProfileOQPSK})
+	if err != nil {
+		return nil, err
+	}
 
 	nw := &Network{
 		cfg:       cfg,
 		topo:      topo,
 		sched:     NewScheduler(),
 		med:       med,
+		ch:        ch,
 		coordsOn:  make(map[int][]int),
 		freq:      make(map[int]float64),
 		airs:      make(map[int]*air),

@@ -32,6 +32,7 @@ import (
 	"wazabee/internal/modsim"
 	"wazabee/internal/obs"
 	"wazabee/internal/obs/link"
+	"wazabee/internal/radio"
 	"wazabee/internal/zigbee"
 	"wazabee/internal/zigbee/sim"
 )
@@ -147,6 +148,24 @@ const (
 	Reception    = experiment.Reception
 	Transmission = experiment.Transmission
 )
+
+// Fidelity selects how much physics a frame delivery simulates: IQ runs
+// the full DSP chain (ground truth), Symbol draws calibrated per-symbol
+// chip errors through the real despreader, Frame collapses delivery to
+// one calibrated erasure draw. See DESIGN.md §14 for the trade-offs.
+type Fidelity = radio.Fidelity
+
+// Fidelity tiers, cheapest last.
+const (
+	FidelityIQ     = radio.FidelityIQ
+	FidelitySymbol = radio.FidelitySymbol
+	FidelityFrame  = radio.FidelityFrame
+)
+
+// ParseFidelity parses a -fidelity flag value ("iq", "symbol", "frame").
+func ParseFidelity(s string) (Fidelity, error) {
+	return radio.ParseFidelity(s)
+}
 
 // DefaultExperimentConfig reproduces the paper's benchmark setup.
 func DefaultExperimentConfig() ExperimentConfig {
