@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health smoke-sim calibrate calibrate-check ci
+.PHONY: build vet test race racestream racerunner racesim determinism bench fuzz smoke smoke-health smoke-sim campaign-smoke calibrate calibrate-check ci
 
 build:
 	$(GO) build ./...
@@ -88,4 +88,10 @@ smoke-health:
 smoke-sim:
 	./scripts/smoke-sim.sh
 
-ci: vet build test race racestream racerunner racesim determinism calibrate-check fuzz smoke smoke-health smoke-sim
+# End-to-end campaign smoke: two attack scenarios (plus the benign
+# baseline) at 20 trials per cell through wazabeecampaign, asserting the
+# ROC matrix digest matches the pinned value at two worker counts.
+campaign-smoke:
+	./scripts/smoke-campaign.sh
+
+ci: vet build test race racestream racerunner racesim determinism calibrate-check fuzz smoke smoke-health smoke-sim campaign-smoke

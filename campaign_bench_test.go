@@ -1,0 +1,40 @@
+package wazabee
+
+// Campaign-engine benchmark: the cost of one full scenario run (mesh
+// formation, attack schedule, frame-tier IDS judging, scoring) at each
+// mesh delivery tier. This is the per-trial unit cost behind the ROC
+// matrix — cells/second on one core follows directly from it.
+
+import (
+	"testing"
+
+	"wazabee/internal/campaign"
+	"wazabee/internal/radio"
+)
+
+func benchCampaignScenario(b *testing.B, fid radio.Fidelity) {
+	sc, err := campaign.ByName("scenario-a-injection")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := sc.Setup(campaign.Options{Seed: int64(i + 1), Fidelity: fid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			b.Fatal(err)
+		}
+		out := inst.Score()
+		if out.FramesInjected == 0 {
+			b.Fatal("scenario injected nothing")
+		}
+	}
+}
+
+func BenchmarkCampaignScenario(b *testing.B) {
+	b.Run("frame", func(b *testing.B) { benchCampaignScenario(b, radio.FidelityFrame) })
+	b.Run("symbol", func(b *testing.B) { benchCampaignScenario(b, radio.FidelitySymbol) })
+}

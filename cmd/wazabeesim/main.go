@@ -88,6 +88,9 @@ func registerFlags(fs *flag.FlagSet, cfg *config) {
 
 // buildTopology resolves the topology flags into a node list.
 func buildTopology(cfg config) (sim.Topology, error) {
+	if cfg.nodes < 0 {
+		return sim.Topology{}, fmt.Errorf("negative -nodes %d", cfg.nodes)
+	}
 	switch cfg.topology {
 	case "star":
 		return sim.Star(cfg.nodes), nil

@@ -70,6 +70,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-topology", "mesh"},
 		{"-duration", "0s"},
 		{"-energy", "-chip", "esp32"},
+		// Negative sizes must be flag errors, not generator panics.
+		{"-topology", "star", "-nodes", "-3"},
+		{"-topology", "tree", "-nodes", "-1"},
+		{"-topology", "random", "-nodes", "-10"},
 	} {
 		var out, errOut bytes.Buffer
 		if err := run(args, &out, &errOut); err == nil {

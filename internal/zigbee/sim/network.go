@@ -190,6 +190,10 @@ type Stats struct {
 	PANConflicts uint64 // coordinator PAN-ID rebinds
 	Joins        uint64 // successful associations
 
+	Injected          uint64 // intruder frames put on the air
+	InjectedDelivered uint64 // intruder frames a victim MAC processed
+	ChannelMigrations uint64 // nodes detached by a forged remote AT retune
+
 	Events      uint64        // scheduler events executed
 	VirtualTime time.Duration // current virtual clock
 	HeapDepth   int           // event-heap high-water mark
@@ -238,6 +242,10 @@ type Network struct {
 	cJoins      *obs.Counter
 	cConflicts  *obs.Counter
 	cEvents     *obs.Counter
+
+	cInjected          *obs.Counter
+	cInjectedDelivered *obs.Counter
+	cMigrations        *obs.Counter
 	gVirtual    *obs.Gauge
 	gHeapDepth  *obs.Gauge
 	gJoined     *obs.Gauge
@@ -315,6 +323,9 @@ func New(topo Topology, cfg Config) (*Network, error) {
 	nw.cDeaf = nw.reg.Counter("wazabee_sim_deaf_misses_total")
 	nw.cJoins = nw.reg.Counter("wazabee_sim_joins_total")
 	nw.cConflicts = nw.reg.Counter("wazabee_sim_pan_conflicts_total")
+	nw.cInjected = nw.reg.Counter("wazabee_sim_injected_total", "result", "offered")
+	nw.cInjectedDelivered = nw.reg.Counter("wazabee_sim_injected_total", "result", "delivered")
+	nw.cMigrations = nw.reg.Counter("wazabee_sim_channel_migrations_total")
 	nw.cEvents = nw.reg.Counter("wazabee_sim_events_total")
 	nw.gVirtual = nw.reg.Gauge("wazabee_sim_virtual_seconds")
 	nw.gHeapDepth = nw.reg.Gauge("wazabee_sim_heap_depth")
@@ -443,6 +454,15 @@ func (nw *Network) cellsOf(n *node) [2]*air {
 func (nw *Network) destCellOwner(n *node, out *outgoing) int {
 	switch out.mode {
 	case targetNode:
+		if out.to < 0 || out.to >= len(nw.nodes) {
+			// Replies to an out-of-topology intruder go out in the
+			// sender's own neighborhood: real airtime and contention,
+			// no in-topology receiver.
+			if n.spec.Role == RoleEndDevice {
+				return n.parentID
+			}
+			return n.id
+		}
 		rx := nw.nodes[out.to]
 		if rx.spec.Role == RoleEndDevice {
 			return rx.parentID

@@ -20,6 +20,24 @@ trap cleanup EXIT INT TERM
 echo "smoke-sim: building wazabeesim"
 $GO build -o "$BIN" ./cmd/wazabeesim
 
+# Invalid flags must exit non-zero with a diagnostic — not panic (a
+# goroutine dump exits 2 and prints no usable error).
+echo "smoke-sim: asserting bad flags fail cleanly"
+set +e
+"$BIN" -topology star -nodes -3 -duration 1s >/dev/null 2>"$WORKDIR/badflags.err"
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 1 ]; then
+    echo "smoke-sim: FAIL — negative -nodes exited $STATUS, want 1" >&2
+    cat "$WORKDIR/badflags.err" >&2
+    exit 1
+fi
+if ! grep -q "negative -nodes" "$WORKDIR/badflags.err"; then
+    echo "smoke-sim: FAIL — no diagnostic for negative -nodes:" >&2
+    cat "$WORKDIR/badflags.err" >&2
+    exit 1
+fi
+
 echo "smoke-sim: simulating a depth-2 fanout-4 tree with -trace and -energy"
 "$BIN" -topology tree -depth 2 -fanout 4 -duration 20s \
     -trace "$TRACE" -validate-trace -energy -json >"$SUMMARY"

@@ -20,6 +20,7 @@ import (
 
 	"wazabee/internal/attack"
 	"wazabee/internal/bitstream"
+	"wazabee/internal/campaign"
 	"wazabee/internal/capture"
 	"wazabee/internal/chip"
 	"wazabee/internal/core"
@@ -446,11 +447,48 @@ type (
 	// IDSMonitor is the section VII radio-monitoring counter-measure:
 	// it inspects captures for cross-technology attack signatures.
 	IDSMonitor = ids.Monitor
+	// IDSFrameMonitor is the monitor's frame-fidelity tier: it judges
+	// pre-extracted per-frame features instead of IQ captures, so the
+	// mesh simulator's campaigns can run the same detectors.
+	IDSFrameMonitor = ids.FrameMonitor
 	// IDSVerdict is the result of one inspection.
 	IDSVerdict = ids.Verdict
 	// PivotScore is one modulation-pivotability survey row.
 	PivotScore = modsim.PairScore
 )
+
+// Campaign engine (DESIGN.md §15): the scenario catalogue swept against
+// the IDS thresholds into an attack-vs-detection ROC matrix.
+type (
+	// CampaignScenario is one catalogue entry — a named, repeatable
+	// attack (or the benign baseline) on a simulated mesh.
+	CampaignScenario = campaign.Scenario
+	// CampaignOutcome is one scenario run's score card.
+	CampaignOutcome = campaign.Outcome
+	// CampaignOptions parameterises one scenario instance.
+	CampaignOptions = campaign.Options
+	// CampaignMatrixSpec parameterises a full campaign sweep.
+	CampaignMatrixSpec = campaign.MatrixSpec
+	// CampaignMatrix is a completed sweep: ROC cells plus impact rows.
+	CampaignMatrix = campaign.Matrix
+)
+
+// CampaignCatalogue lists the scenario catalogue in stable order.
+func CampaignCatalogue() []CampaignScenario {
+	return campaign.Catalogue()
+}
+
+// CampaignScenarioByName resolves one catalogue scenario.
+func CampaignScenarioByName(name string) (CampaignScenario, error) {
+	return campaign.ByName(name)
+}
+
+// RunCampaignMatrix executes a campaign sweep — every (scenario,
+// threshold) cell as a deterministic Monte-Carlo point, bit-identical at
+// any worker count. cmd/wazabeecampaign is the CLI front end.
+func RunCampaignMatrix(ctx context.Context, spec CampaignMatrixSpec) (*CampaignMatrix, error) {
+	return campaign.RunMatrix(ctx, spec)
+}
 
 // NewIDSMonitor builds the radio watchdog at the given oversampling
 // factor.
